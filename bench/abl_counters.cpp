@@ -1,0 +1,82 @@
+// Ablations A & B — counter-placement design choices beyond the paper's
+// evaluated settings (DESIGN.md, experiment index).
+//
+//   A (paper §8 future work): one flit-counter per *data* cache line
+//     (PerLinePolicy) vs per-word hashed vs adjacent. Per-line tagging
+//     aliases all words of a node onto one counter: fewer counters, but
+//     sibling-word p-stores can force readers of the line to flush.
+//   B (paper §5.1): packed counters (8 per word) vs unpacked (one per
+//     table cache line) — the false-sharing trade-off at equal slot count.
+#include "common.hpp"
+#include "ds/natarajan_bst.hpp"
+
+namespace {
+
+using namespace flit;
+using namespace flit::bench;
+
+template <class W>
+using Bst = ds::NatarajanBst<std::int64_t, std::int64_t, W, Automatic>;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchEnv env = BenchEnv::init(argc, argv);
+  const std::uint64_t size = 10'000;
+
+  {
+    Table table({"placement", "5%-updates Mops", "50%-updates Mops",
+                 "pwbs/op @5%"});
+    for (const char* which : {"adjacent", "hashed-word", "per-line"}) {
+      std::vector<std::string> row{which};
+      double pwbs5 = 0;
+      for (const double upd : {5.0, 50.0}) {
+        RunResult r;
+        const WorkloadConfig cfg = env.config(upd, size);
+        if (std::string(which) == "adjacent") {
+          r = run_point([] { return Bst<AdjacentWords>(); }, cfg);
+        } else if (std::string(which) == "hashed-word") {
+          r = run_point([] { return Bst<HashedWords>(); }, cfg);
+        } else {
+          r = run_point([] { return Bst<PerLineWords>(); }, cfg);
+        }
+        row.push_back(Table::fmt(r.mops(), 3));
+        if (upd == 5.0) pwbs5 = r.pwbs_per_op();
+      }
+      row.push_back(Table::fmt(pwbs5, 3));
+      table.add_row(std::move(row));
+    }
+    table.print("Ablation A: counter granularity (automatic BST, 10K keys)");
+    table.print_csv("ablA");
+  }
+
+  {
+    Table table({"layout", "slots", "footprint", "50%-updates Mops"});
+    for (const std::size_t stride : {std::size_t{1}, std::size_t{64}}) {
+      for (const std::size_t slots : {std::size_t{4} << 10,
+                                      std::size_t{1} << 20}) {
+        HashedCounterTable::instance().configure(slots, stride);
+        const RunResult r =
+            run_point([] { return Bst<HashedWords>(); },
+                      env.config(50.0, size));
+        char foot[32];
+        std::snprintf(foot, sizeof(foot), "%zuKB",
+                      HashedCounterTable::instance().footprint_bytes() /
+                          1024);
+        table.add_row({stride == 1 ? "packed (8/word)" : "unpacked (1/line)",
+                       Table::fmt_u(slots), foot, Table::fmt(r.mops(), 3)});
+      }
+    }
+    HashedCounterTable::instance().configure(
+        HashedCounterTable::kDefaultSlots, 1);
+    table.print("Ablation B: counter packing / false sharing "
+                "(automatic BST, 50% updates)");
+    table.print_csv("ablB");
+  }
+
+  std::printf(
+      "\nExpected shape: per-line tagging trades extra reader flushes for\n"
+      "fewer counters; a tiny packed table suffers cache-line collisions\n"
+      "that the unpacked layout avoids at 64x the space.\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// common.hpp — shared scaffolding for the per-figure benchmark binaries.
+//
+// Every binary runs a smoke-sized version of its figure by default (so the
+// whole suite completes in minutes on a laptop/CI container) and the
+// paper-scale version under --full. Absolute numbers are not expected to
+// match the paper's Optane testbed (see EXPERIMENTS.md); the *shape* of
+// each figure is.
+//
+// Backend: kSimLatency by default (DRAM machines), with pwb/pfence delays
+// in the ballpark of Optane write-back costs. Pass --hw to use the real
+// clwb/clflushopt/clflush + sfence path.
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "bench_util/runner.hpp"
+#include "bench_util/table.hpp"
+#include "bench_util/workload.hpp"
+#include "core/modes.hpp"
+#include "pmem/backend.hpp"
+#include "pmem/pool.hpp"
+#include "recl/ebr.hpp"
+
+namespace flit::bench {
+
+struct BenchEnv {
+  BenchArgs args;
+  int threads;
+  double seconds;
+
+  static BenchEnv init(int argc, char** argv, int default_threads = 4,
+                       double default_seconds = 0.3) {
+    BenchEnv e;
+    e.args = BenchArgs::parse(argc, argv);
+    bool hw = false;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--hw") == 0) hw = true;
+    }
+    e.threads = e.args.threads > 0 ? e.args.threads
+                                   : (e.args.full ? 44 : default_threads);
+    e.seconds = e.args.seconds > 0 ? e.args.seconds
+                                   : (e.args.full ? 5.0 : default_seconds);
+    pmem::set_backend(hw ? pmem::Backend::kHardware
+                         : pmem::Backend::kSimLatency);
+    pmem::set_sim_latency(90, 60);  // ~Optane clwb / sfence ballpark
+    pmem::Pool::instance().reinit(e.args.full ? (std::size_t{8} << 30)
+                                              : (std::size_t{1} << 30));
+    std::printf("# backend=%s threads=%d seconds=%.2f %s\n",
+                pmem::to_string(pmem::backend()), e.threads, e.seconds,
+                e.args.full ? "(paper-scale)" : "(smoke scale; --full for "
+                                                "paper parameters)");
+    return e;
+  }
+
+  WorkloadConfig config(double update_pct, std::uint64_t size) const {
+    WorkloadConfig cfg;
+    cfg.threads = threads;
+    cfg.update_pct = update_pct;
+    cfg.key_range = 2 * size;
+    cfg.prefill = size;
+    cfg.duration_s = seconds;
+    return cfg;
+  }
+};
+
+/// Build + prefill + run one benchmark point, recycling the pool between
+/// points so memory stays bounded across a sweep.
+template <class MakeFn>
+RunResult run_point(MakeFn make, const WorkloadConfig& cfg) {
+  recl::Ebr::instance().drain_all();
+  pmem::Pool::instance().reset();
+  auto set = make();
+  prefill(set, cfg);
+  return run_workload(set, cfg);
+}
+
+}  // namespace flit::bench

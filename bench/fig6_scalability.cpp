@@ -1,0 +1,52 @@
+// Figure 6 — scalability of the automatic BST (10K keys, 5% updates) as
+// the thread count grows.
+//
+// Series (as in the paper): non-persistent baseline (grey), plain pwb/
+// pfence placement (blue), flit-HT, flit-adjacent. Expected shape: the two
+// FliT variants scale like the non-persistent baseline; plain sits far
+// below and scales worse.
+#include "common.hpp"
+#include "ds/natarajan_bst.hpp"
+
+namespace {
+
+using namespace flit;
+using namespace flit::bench;
+
+template <class Words>
+using Bst = ds::NatarajanBst<std::int64_t, std::int64_t, Words, Automatic>;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchEnv env = BenchEnv::init(argc, argv);
+  const std::uint64_t size = 10'000;
+
+  std::vector<int> threads =
+      env.args.full ? std::vector<int>{1, 4, 8, 16, 24, 32, 44, 64, 96}
+                    : std::vector<int>{1, 2, 4, 8};
+  if (env.args.threads > 0) threads = {env.args.threads};
+
+  Table table({"threads", "non-persistent", "plain", "flit-HT",
+               "flit-adjacent"});
+  for (const int t : threads) {
+    WorkloadConfig cfg = env.config(5.0, size);
+    cfg.threads = t;
+    const RunResult none =
+        run_point([] { return Bst<VolatileWords>(); }, cfg);
+    const RunResult plain = run_point([] { return Bst<PlainWords>(); }, cfg);
+    const RunResult ht = run_point([] { return Bst<HashedWords>(); }, cfg);
+    const RunResult adj =
+        run_point([] { return Bst<AdjacentWords>(); }, cfg);
+    table.add_row({Table::fmt_u(static_cast<unsigned long long>(t)),
+                   Table::fmt(none.mops(), 3), Table::fmt(plain.mops(), 3),
+                   Table::fmt(ht.mops(), 3), Table::fmt(adj.mops(), 3)});
+  }
+
+  table.print("Figure 6: scalability (automatic BST, 10K keys, 5% updates)");
+  table.print_csv("fig6");
+  std::printf(
+      "\nExpected paper shape: flit-HT and flit-adjacent track the\n"
+      "non-persistent baseline's scaling; plain is far below throughout.\n");
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Figure 8 — effect of the update ratio, at two structure sizes,
+// normalized to the non-persistent baseline.
+//
+// Paper: 44 threads, automatic durability; sizes 10K and 10M keys (128 and
+// 4K for the list); update ratios 0/5/50%. Expected shape: more updates =>
+// bigger gap below the baseline; large structures => all persistent
+// versions approach 1.0 (traversal cache misses dominate).
+#include "common.hpp"
+#include "ds/harris_list.hpp"
+#include "ds/hash_table.hpp"
+#include "ds/natarajan_bst.hpp"
+#include "ds/skiplist.hpp"
+
+namespace {
+
+using namespace flit;
+using namespace flit::bench;
+using K = std::int64_t;
+
+template <class W>
+using ListOf = ds::HarrisList<K, K, W, Automatic>;
+template <class W>
+using BstOf = ds::NatarajanBst<K, K, W, Automatic>;
+template <class W>
+using SkipOf = ds::SkipList<K, K, W, Automatic>;
+template <class W>
+using TableOf = ds::HashTable<K, K, W, Automatic>;
+
+template <template <class> class DsOf>
+void run_ds(const char* name, const BenchEnv& env, std::uint64_t size,
+            auto make, Table& table) {
+  char label[64];
+  for (const double upd : {0.0, 5.0, 50.0}) {
+    const WorkloadConfig cfg = env.config(upd, size);
+    const double base =
+        run_point([&] { return make.template operator()<
+                            DsOf<VolatileWords>>(); },
+                  cfg)
+            .mops();
+    const double plain =
+        run_point([&] { return make.template operator()<
+                            DsOf<PlainWords>>(); },
+                  cfg)
+            .mops();
+    const double adj =
+        run_point([&] { return make.template operator()<
+                            DsOf<AdjacentWords>>(); },
+                  cfg)
+            .mops();
+    const double ht =
+        run_point([&] { return make.template operator()<
+                            DsOf<HashedWords>>(); },
+                  cfg)
+            .mops();
+    std::snprintf(label, sizeof(label), "%s/%.0f%%", name, upd);
+    auto norm = [&](double v) {
+      return Table::fmt(base > 0 ? v / base : 0, 3);
+    };
+    table.add_row({label, norm(plain), norm(adj), norm(ht),
+                   Table::fmt(base, 3)});
+  }
+}
+
+struct MakeDefault {
+  template <class S>
+  S operator()() const {
+    return S();
+  }
+};
+struct MakeBuckets {
+  std::size_t n;
+  template <class S>
+  S operator()() const {
+    return S(n);
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchEnv env = BenchEnv::init(argc, argv);
+  // Paper sizes: 10K and 10M (lists 128 / 4K). Smoke keeps the large size
+  // modest so the suite stays fast; --full uses the paper's.
+  const std::uint64_t small = 10'000;
+  const std::uint64_t large = env.args.full ? 10'000'000 : 100'000;
+  const std::uint64_t list_small = 128;
+  const std::uint64_t list_large = env.args.full ? 4'096 : 1'024;
+
+  Table table({"structure/updates", "plain (norm)", "flit-adjacent (norm)",
+               "flit-HT (norm)", "baseline Mops"});
+
+  run_ds<BstOf>("bst-small", env, small, MakeDefault{}, table);
+  run_ds<TableOf>("hashtable-small", env, small, MakeBuckets{small}, table);
+  run_ds<ListOf>("list-small", env, list_small, MakeDefault{}, table);
+  run_ds<SkipOf>("skiplist-small", env, small, MakeDefault{}, table);
+
+  run_ds<BstOf>("bst-large", env, large, MakeDefault{}, table);
+  run_ds<TableOf>("hashtable-large", env, large, MakeBuckets{large}, table);
+  run_ds<ListOf>("list-large", env, list_large, MakeDefault{}, table);
+  run_ds<SkipOf>("skiplist-large", env, large, MakeDefault{}, table);
+
+  table.print(
+      "Figure 8: update-ratio sweep, automatic durability, normalized to "
+      "the non-persistent baseline");
+  table.print_csv("fig8");
+  std::printf(
+      "\nExpected paper shape: normalized throughput falls as updates\n"
+      "grow; at 0%% updates FliT is ~1.0; large structures pull all\n"
+      "persistent versions back toward 1.0.\n");
+  return 0;
+}

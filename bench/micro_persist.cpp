@@ -1,0 +1,112 @@
+// Google-benchmark microbenchmarks of individual flit-instructions: the
+// per-instruction costs that explain the figure-level results (what a
+// p-load pays when clean vs tagged, what a p-store's fences cost, etc.).
+#include <benchmark/benchmark.h>
+
+#include "core/link_and_persist.hpp"
+#include "core/modes.hpp"
+#include "core/persist.hpp"
+#include "pmem/backend.hpp"
+
+namespace {
+
+using namespace flit;
+
+// The microbenches measure instruction overhead, not simulated NVRAM
+// latency, so run them over the no-op backend.
+struct NoOpBackendSetup {
+  NoOpBackendSetup() {
+    pmem::set_backend(pmem::Backend::kNoOp);
+    pmem::set_sim_latency(0, 0);
+  }
+} g_setup;
+
+template <class Policy>
+void BM_PLoad_Clean(benchmark::State& state) {
+  persist<std::uint64_t, Policy> x(42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(x.load(kPersist));
+  }
+}
+BENCHMARK(BM_PLoad_Clean<HashedPolicy>);
+BENCHMARK(BM_PLoad_Clean<AdjacentPolicy>);
+BENCHMARK(BM_PLoad_Clean<PerLinePolicy>);
+BENCHMARK(BM_PLoad_Clean<PlainPolicy>);
+BENCHMARK(BM_PLoad_Clean<VolatilePolicy>);
+
+template <class Policy>
+void BM_VLoad(benchmark::State& state) {
+  persist<std::uint64_t, Policy> x(42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(x.load(kVolatile));
+  }
+}
+BENCHMARK(BM_VLoad<HashedPolicy>);
+BENCHMARK(BM_VLoad<VolatilePolicy>);
+
+template <class Policy>
+void BM_PStore(benchmark::State& state) {
+  persist<std::uint64_t, Policy> x(0);
+  std::uint64_t v = 0;
+  for (auto _ : state) {
+    x.store(++v, kPersist);
+  }
+}
+BENCHMARK(BM_PStore<HashedPolicy>);
+BENCHMARK(BM_PStore<AdjacentPolicy>);
+BENCHMARK(BM_PStore<PlainPolicy>);
+BENCHMARK(BM_PStore<VolatilePolicy>);
+
+template <class Policy>
+void BM_PCas(benchmark::State& state) {
+  persist<std::uint64_t, Policy> x(0);
+  std::uint64_t v = 0;
+  for (auto _ : state) {
+    std::uint64_t e = v;
+    x.cas(e, ++v, kPersist);
+  }
+}
+BENCHMARK(BM_PCas<HashedPolicy>);
+BENCHMARK(BM_PCas<AdjacentPolicy>);
+
+template <class Policy>
+void BM_PFaa(benchmark::State& state) {
+  persist<std::uint64_t, Policy> x(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(x.faa(1, kPersist));
+  }
+}
+BENCHMARK(BM_PFaa<HashedPolicy>);
+BENCHMARK(BM_PFaa<AdjacentPolicy>);
+
+void BM_LapLoad_Clean(benchmark::State& state) {
+  static int target = 7;
+  lap_word<int*> w(&target);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(w.load(kPersist));
+  }
+}
+BENCHMARK(BM_LapLoad_Clean);
+
+void BM_LapCas(benchmark::State& state) {
+  static int a = 1, b = 2;
+  lap_word<int*> w(&a);
+  int* cur = &a;
+  for (auto _ : state) {
+    int* next = (cur == &a) ? &b : &a;
+    w.cas(cur, next, kPersist);
+    cur = next;
+  }
+}
+BENCHMARK(BM_LapCas);
+
+void BM_OperationCompletion(benchmark::State& state) {
+  for (auto _ : state) {
+    persist<int, HashedPolicy>::operation_completion();
+  }
+}
+BENCHMARK(BM_OperationCompletion);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,77 @@
+// quickstart — the paper's §4 usage model in one file.
+//
+// 1. Declare shared words with persist<> (default pflag = persisted).
+// 2. Use them exactly like atomics (load / store / CAS / FAA, or the
+//    overloaded = and -> operators).
+// 3. Call operation_completion() at the end of each operation.
+// That alone makes a linearizable structure durably linearizable
+// (Theorem 3.1); the flit-counters silently remove redundant flushes.
+//
+// Build & run:  ./examples/quickstart
+#include <cstdio>
+
+#include "core/modes.hpp"
+#include "core/persist.hpp"
+#include "pmem/backend.hpp"
+#include "pmem/pool.hpp"
+
+using namespace flit;
+
+// A durable bank account: balance and a version stamp, both persist<>.
+struct Account {
+  persist<std::int64_t, HashedPolicy> balance;
+  persist<std::int64_t, HashedPolicy> version;
+  Account() : balance(0), version(0) {}
+
+  void deposit(std::int64_t amount) {
+    balance.faa(amount);  // p-FAA: tagged, flushed, fenced under the hood
+    version.faa(1);
+    persist<std::int64_t, HashedPolicy>::operation_completion();
+  }
+
+  bool withdraw(std::int64_t amount) {
+    for (;;) {
+      std::int64_t cur = balance.load();  // p-load: flush-if-tagged
+      if (cur < amount) {
+        persist<std::int64_t, HashedPolicy>::operation_completion();
+        return false;
+      }
+      if (balance.cas(cur, cur - amount)) {  // p-CAS
+        version.faa(1);
+        persist<std::int64_t, HashedPolicy>::operation_completion();
+        return true;
+      }
+    }
+  }
+};
+
+int main() {
+  // Pick the persistence backend: kHardware issues real clwb/sfence; the
+  // simulated backends let the same binary run on any machine.
+  pmem::set_backend(pmem::Backend::kSimLatency);
+  std::printf("flush instruction available on this CPU: %s\n",
+              pmem::to_string(pmem::detect_flush_instruction()));
+
+  // Persistent allocation (the libvmmalloc role): objects whose fields are
+  // persist<> live in the persistent pool.
+  auto* acct = pmem::pnew<Account>();
+
+  acct->deposit(100);
+  acct->deposit(250);
+  const bool ok1 = acct->withdraw(300);
+  const bool ok2 = acct->withdraw(300);
+
+  std::printf("balance=%ld version=%ld withdraw#1=%s withdraw#2=%s\n",
+              static_cast<long>(acct->balance.load()),
+              static_cast<long>(acct->version.load()),
+              ok1 ? "ok" : "insufficient", ok2 ? "ok" : "insufficient");
+
+  const auto stats = pmem::stats_snapshot();
+  std::printf("persistence instructions issued: %llu pwbs, %llu pfences\n",
+              static_cast<unsigned long long>(stats.pwbs),
+              static_cast<unsigned long long>(stats.pfences));
+
+  pmem::pdelete(acct);
+  std::printf("quickstart: OK\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// task_queue — a crash-safe work queue on the durable queue (the paper §4
+// pattern of keeping head/tail volatile while nodes are persistent).
+//
+// Producers enqueue task ids; consumers claim tasks; a simulated power
+// failure hits mid-stream; recovery shows every task is either claimed or
+// still queued — none lost, none duplicated (exactly-once dispatch).
+//
+// Build & run:  ./examples/task_queue
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "ds/durable_queue.hpp"
+#include "pmem/backend.hpp"
+#include "pmem/pool.hpp"
+#include "pmem/sim_memory.hpp"
+
+using namespace flit;
+using Queue = ds::DurableQueue<std::int64_t, HashedWords>;
+
+int main() {
+  recl::Ebr::instance().set_reclaim(false);
+  pmem::Pool::instance().reinit(std::size_t{64} << 20);
+  pmem::Pool::instance().register_with_sim();
+  pmem::set_backend(pmem::Backend::kSimCrash);
+
+  Queue queue;
+  constexpr std::int64_t kTasks = 10'000;
+
+  // Producers and consumers run concurrently.
+  std::vector<std::int64_t> claimed;
+  std::mutex claimed_mu;
+  std::atomic<bool> done{false};
+  std::vector<std::thread> ts;
+  for (int p = 0; p < 2; ++p) {
+    ts.emplace_back([&queue, p] {
+      for (std::int64_t i = p; i < kTasks; i += 2) queue.enqueue(i);
+    });
+  }
+  for (int c = 0; c < 2; ++c) {
+    ts.emplace_back([&, c] {
+      std::vector<std::int64_t> mine;
+      while (!done.load() || !queue.empty()) {
+        if (auto v = queue.dequeue(c)) {
+          mine.push_back(*v);
+          if (mine.size() >= kTasks / 4) break;  // stop mid-stream
+        }
+      }
+      std::lock_guard<std::mutex> lk(claimed_mu);
+      claimed.insert(claimed.end(), mine.begin(), mine.end());
+    });
+  }
+  ts[0].join();
+  ts[1].join();
+  done.store(true);
+  ts[2].join();
+  ts[3].join();
+
+  std::printf("enqueued %lld tasks, %zu claimed before the crash\n",
+              static_cast<long long>(kTasks), claimed.size());
+
+  pmem::SimMemory::instance().crash();
+  std::printf("*** simulated power failure ***\n");
+
+  Queue recovered = Queue::recover(queue.anchor());
+  std::vector<std::int64_t> rest;
+  while (auto v = recovered.dequeue(99)) rest.push_back(*v);
+
+  // Exactly-once: claimed ∪ recovered == all tasks, disjoint.
+  std::vector<std::int64_t> all = claimed;
+  all.insert(all.end(), rest.begin(), rest.end());
+  std::sort(all.begin(), all.end());
+  bool exact = all.size() == static_cast<std::size_t>(kTasks);
+  for (std::size_t i = 0; exact && i < all.size(); ++i) {
+    exact = all[i] == static_cast<std::int64_t>(i);
+  }
+  std::printf("recovered %zu unclaimed tasks; exactly-once dispatch: %s\n",
+              rest.size(), exact ? "VERIFIED" : "VIOLATED (bug!)");
+  std::printf("task_queue: %s\n", exact ? "OK" : "FAILED");
+  return exact ? 0 : 1;
+}

@@ -1,0 +1,103 @@
+// runner.hpp — timed multi-thread throughput driver for the evaluation
+// harness (one binary per paper figure lives in bench/).
+//
+// The driver prefills the structure, spawns `threads` workers that each run
+// the operation mix against the shared structure until the deadline, and
+// reports aggregate throughput plus the pwb/pfence counts used by Figure 9.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "bench_util/workload.hpp"
+#include "pmem/stats.hpp"
+#include "recl/ebr.hpp"
+
+namespace flit::bench {
+
+struct RunResult {
+  std::uint64_t total_ops = 0;
+  double seconds = 0.0;
+  pmem::StatsSnapshot persistence;  // pwbs/pfences during the timed phase
+
+  double mops() const noexcept {
+    return seconds > 0 ? static_cast<double>(total_ops) / seconds / 1e6 : 0;
+  }
+  double pwbs_per_op() const noexcept {
+    return total_ops > 0
+               ? static_cast<double>(persistence.pwbs) /
+                     static_cast<double>(total_ops)
+               : 0;
+  }
+};
+
+/// Prefill `set` with cfg.prefill distinct keys drawn from the key range.
+/// Deterministic for a given seed.
+template <class Set>
+void prefill(Set& set, const WorkloadConfig& cfg) {
+  Rng rng(cfg.seed ^ 0xF1F1F1F1ull);
+  std::uint64_t inserted = 0;
+  while (inserted < cfg.prefill) {
+    const auto k = static_cast<std::int64_t>(rng.next_below(cfg.key_range));
+    if (set.insert(k, k)) ++inserted;
+  }
+}
+
+/// Run the timed phase. `Set` needs insert(k,v) / remove(k) / contains(k).
+template <class Set>
+RunResult run_workload(Set& set, const WorkloadConfig& cfg) {
+  std::atomic<bool> start{false};
+  std::atomic<bool> stop{false};
+  std::vector<std::uint64_t> ops_per_thread(
+      static_cast<std::size_t>(cfg.threads), 0);
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(cfg.threads));
+
+  const OpMix mix(cfg.update_pct);
+  for (int t = 0; t < cfg.threads; ++t) {
+    workers.emplace_back([&, t] {
+      Rng rng(cfg.seed + 0x1000ull * static_cast<std::uint64_t>(t + 1));
+      while (!start.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+      std::uint64_t ops = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto k =
+            static_cast<std::int64_t>(rng.next_below(cfg.key_range));
+        switch (mix.pick(rng)) {
+          case OpKind::kContains:
+            set.contains(k);
+            break;
+          case OpKind::kInsert:
+            set.insert(k, k);
+            break;
+          case OpKind::kRemove:
+            set.remove(k);
+            break;
+        }
+        ++ops;
+      }
+      ops_per_thread[static_cast<std::size_t>(t)] = ops;
+    });
+  }
+
+  const pmem::StatsSnapshot before = pmem::stats_snapshot();
+  const auto t0 = std::chrono::steady_clock::now();
+  start.store(true, std::memory_order_release);
+  std::this_thread::sleep_for(std::chrono::duration<double>(cfg.duration_s));
+  stop.store(true, std::memory_order_release);
+  for (auto& w : workers) w.join();
+  const auto t1 = std::chrono::steady_clock::now();
+
+  RunResult r;
+  for (const std::uint64_t o : ops_per_thread) r.total_ops += o;
+  r.seconds = std::chrono::duration<double>(t1 - t0).count();
+  r.persistence = pmem::stats_snapshot() - before;
+  recl::Ebr::instance().drain_all();
+  return r;
+}
+
+}  // namespace flit::bench

@@ -1,0 +1,107 @@
+// table.hpp — aligned text-table + CSV emission for the bench binaries.
+//
+// Every figure binary prints (a) a human-readable table mirroring the
+// paper's plot series and (b) machine-readable `CSV,`-prefixed lines so the
+// results can be scraped into EXPERIMENTS.md or plotted.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace flit::bench {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  static std::string fmt(double v, int prec = 2) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+    return buf;
+  }
+
+  static std::string fmt_u(unsigned long long v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%llu", v);
+    return buf;
+  }
+
+  /// Print the aligned table to stdout.
+  void print(const std::string& title) const {
+    std::vector<std::size_t> widths(headers_.size(), 0);
+    for (std::size_t i = 0; i < headers_.size(); ++i) {
+      widths[i] = headers_[i].size();
+    }
+    for (const auto& row : rows_) {
+      for (std::size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+        if (row[i].size() > widths[i]) widths[i] = row[i].size();
+      }
+    }
+    std::printf("\n== %s ==\n", title.c_str());
+    print_row(headers_, widths);
+    std::string sep;
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      sep += std::string(widths[i] + 2, '-');
+    }
+    std::printf("%s\n", sep.c_str());
+    for (const auto& row : rows_) print_row(row, widths);
+  }
+
+  /// Print `CSV,<tag>,<h1>,<h2>,...` then one CSV line per row.
+  void print_csv(const std::string& tag) const {
+    std::printf("CSV,%s", tag.c_str());
+    for (const auto& h : headers_) std::printf(",%s", h.c_str());
+    std::printf("\n");
+    for (const auto& row : rows_) {
+      std::printf("CSV,%s", tag.c_str());
+      for (const auto& c : row) std::printf(",%s", c.c_str());
+      std::printf("\n");
+    }
+  }
+
+ private:
+  static void print_row(const std::vector<std::string>& row,
+                        const std::vector<std::size_t>& widths) {
+    for (std::size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+      std::printf("%-*s  ", static_cast<int>(widths[i]), row[i].c_str());
+    }
+    std::printf("\n");
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Minimal flag parsing shared by the bench binaries:
+///   --full           run paper-scale parameters (long!)
+///   --threads=N      override thread count
+///   --seconds=S      override per-point duration
+struct BenchArgs {
+  bool full = false;
+  int threads = 0;       // 0 = binary default
+  double seconds = 0.0;  // 0 = binary default
+
+  static BenchArgs parse(int argc, char** argv) {
+    BenchArgs a;
+    for (int i = 1; i < argc; ++i) {
+      const std::string s = argv[i];
+      if (s == "--full") {
+        a.full = true;
+      } else if (s.rfind("--threads=", 0) == 0) {
+        a.threads = std::atoi(s.c_str() + 10);
+      } else if (s.rfind("--seconds=", 0) == 0) {
+        a.seconds = std::atof(s.c_str() + 10);
+      }
+    }
+    return a;
+  }
+};
+
+}  // namespace flit::bench

@@ -1,0 +1,84 @@
+// workload.hpp — the paper's microbenchmark workload (§6.1).
+//
+// "Unless stated otherwise, all data structures are tested with three
+//  different workloads; 0% updates, 5% updates, and 50% updates. Updates
+//  are split 50/50 between inserts and deletes, and chosen randomly."
+//
+// Keys are drawn uniformly from a range of 2× the target size and the
+// structure is prefilled to half the range, so the 50/50 insert/delete mix
+// keeps the size stationary.
+#pragma once
+
+#include <cstdint>
+
+namespace flit::bench {
+
+/// xorshift128+ — fast, decent-quality per-thread PRNG for key selection.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept {
+    // SplitMix64 seeding.
+    s0_ = splitmix(seed);
+    s1_ = splitmix(seed + 0x9E3779B97F4A7C15ull);
+    if ((s0_ | s1_) == 0) s1_ = 1;
+  }
+
+  std::uint64_t next() noexcept {
+    std::uint64_t x = s0_;
+    const std::uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  /// Uniform in [0, bound).
+  std::uint64_t next_below(std::uint64_t bound) noexcept {
+    return next() % bound;
+  }
+
+  /// Uniform real in [0, 1).
+  double next_unit() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  static std::uint64_t splitmix(std::uint64_t x) noexcept {
+    x += 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return x ^ (x >> 31);
+  }
+
+  std::uint64_t s0_, s1_;
+};
+
+enum class OpKind { kContains, kInsert, kRemove };
+
+/// Stateless operation mix: update_pct of operations are updates, split
+/// 50/50 insert/delete.
+class OpMix {
+ public:
+  explicit OpMix(double update_pct) noexcept
+      : update_frac_(update_pct / 100.0) {}
+
+  OpKind pick(Rng& rng) const noexcept {
+    const double r = rng.next_unit();
+    if (r >= update_frac_) return OpKind::kContains;
+    return (r < update_frac_ / 2) ? OpKind::kInsert : OpKind::kRemove;
+  }
+
+ private:
+  double update_frac_;
+};
+
+struct WorkloadConfig {
+  int threads = 4;
+  double update_pct = 5.0;       ///< 0, 5, or 50 in the paper
+  std::uint64_t key_range = 20'000;  ///< 2× the target structure size
+  std::uint64_t prefill = 10'000;    ///< initial keys (= target size)
+  double duration_s = 1.0;       ///< paper runs 5s; smoke runs are shorter
+  std::uint64_t seed = 0x5EEDu;
+};
+
+}  // namespace flit::bench

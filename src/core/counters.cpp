@@ -1,0 +1,46 @@
+#include "core/counters.hpp"
+
+#include <bit>
+#include <cassert>
+#include <new>
+
+namespace flit {
+
+HashedCounterTable& HashedCounterTable::instance() {
+  static HashedCounterTable t;
+  return t;
+}
+
+HashedCounterTable::HashedCounterTable() {
+  configure(kDefaultSlots, /*stride_bytes=*/1);
+}
+
+void HashedCounterTable::configure(std::size_t slots,
+                                   std::size_t stride_bytes) {
+  assert(slots >= 64 && "table too small to be meaningful");
+  assert(stride_bytes >= 1);
+  slots = std::bit_ceil(slots);
+
+  if (table_ != nullptr) {
+    ::operator delete[](table_, std::align_val_t{pmem::kCacheLineSize});
+  }
+  const std::size_t bytes = slots * stride_bytes;
+  void* mem =
+      ::operator new[](bytes, std::align_val_t{pmem::kCacheLineSize});
+  table_ = static_cast<std::atomic<std::uint8_t>*>(mem);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    new (&table_[i]) std::atomic<std::uint8_t>(0);
+  }
+  slots_ = slots;
+  stride_ = stride_bytes;
+  shift_ = 64 - static_cast<unsigned>(std::countr_zero(slots));
+}
+
+bool HashedCounterTable::all_zero() const noexcept {
+  for (std::size_t i = 0; i < slots_; ++i) {
+    if (table_[i * stride_].load(std::memory_order_acquire) != 0) return false;
+  }
+  return true;
+}
+
+}  // namespace flit

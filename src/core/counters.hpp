@@ -1,0 +1,155 @@
+// counters.hpp — flit-counter placement policies (paper §5.1).
+//
+// Algorithm 4 deliberately leaves `flit-counter(X)` unspecified: a counter
+// may live anywhere and may be shared by any number of locations — sharing
+// can only cause extra pwbs, never unsafe behaviour. The paper evaluates
+// two placements and names a third as future work; all three are here:
+//
+//   AdjacentPolicy — the counter sits in the word next to the variable
+//       (flit-adjacent). Zero extra cache misses, but doubles the footprint
+//       of every persist<> word (the skiplist-node overflow effect of §6.6
+//       follows directly).
+//   HashedPolicy — a global table of 8-bit counters indexed by address hash
+//       (flit-HT). Size is runtime-configurable (Figure 5 sweeps it);
+//       counters are packed 8-per-word, so a 4 KiB table is only 64 cache
+//       lines — the false-sharing collapse the paper observes.
+//   HashedUnpackedPolicy — one counter per cache line *of the table*
+//       (ablation B: removes intra-table false sharing at 64× the space).
+//   PerLinePolicy — one counter per *data* cache line (paper §8's "natural
+//       option that we did not explore"): all words on a line share a tag.
+//   PlainPolicy — no tagging at all; every p-load flushes (the "plain"
+//       baseline of every figure).
+//   VolatilePolicy — everything is an ordinary atomic access and no
+//       persistence instruction is ever issued (the grey dotted
+//       non-persistent baseline).
+//
+// A counter holds the number of *pending* p-stores on its location(s); it
+// is bounded by the thread count, so 8 bits suffice below 256 threads
+// (paper §5.1). Tag/untag use acq_rel RMWs; `tagged` uses an acquire load.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "pmem/cacheline.hpp"
+
+namespace flit {
+
+/// How a policy stores its counters; drives `if constexpr` dispatch in
+/// persist<>.
+enum class CounterKind {
+  kAdjacent,  ///< counter embedded next to the word
+  kExternal,  ///< counter in a global table, found by address
+  kPlain,     ///< no counters; p-loads always flush
+  kVolatile,  ///< no counters and no persistence instructions at all
+};
+
+/// Global table of 8-bit flit-counters used by the external policies.
+///
+/// `configure()` chooses the number of counter slots, the byte stride
+/// between consecutive counters (1 = packed 8-per-word, 64 = one per cache
+/// line of the table) and the granularity shift applied to addresses
+/// (0 = per-word tagging, 6 = per-data-line tagging).
+class HashedCounterTable {
+ public:
+  static constexpr std::size_t kDefaultSlots = std::size_t{1} << 20;  // 1 MiB
+
+  static HashedCounterTable& instance();
+
+  HashedCounterTable(const HashedCounterTable&) = delete;
+  HashedCounterTable& operator=(const HashedCounterTable&) = delete;
+
+  /// Rebuild the table. Stop-the-world only (counters must all be zero,
+  /// i.e. no p-store in flight). `slots` is rounded up to a power of two.
+  void configure(std::size_t slots, std::size_t stride_bytes = 1);
+
+  std::size_t slots() const noexcept { return slots_; }
+  std::size_t stride() const noexcept { return stride_; }
+  /// Total memory footprint in bytes (what Figure 5's x-axis reports).
+  std::size_t footprint_bytes() const noexcept { return slots_ * stride_; }
+
+  void tag(const void* addr, unsigned gran_shift) noexcept {
+    slot(addr, gran_shift).fetch_add(1, std::memory_order_acq_rel);
+  }
+  void untag(const void* addr, unsigned gran_shift) noexcept {
+    slot(addr, gran_shift).fetch_sub(1, std::memory_order_acq_rel);
+  }
+  bool tagged(const void* addr, unsigned gran_shift) const noexcept {
+    return slot(addr, gran_shift).load(std::memory_order_acquire) != 0;
+  }
+
+  /// Test hook: true if every counter is zero (all p-stores balanced).
+  bool all_zero() const noexcept;
+
+ private:
+  HashedCounterTable();
+
+  std::atomic<std::uint8_t>& slot(const void* addr,
+                                  unsigned gran_shift) const noexcept {
+    auto a = reinterpret_cast<std::uintptr_t>(addr) >> gran_shift;
+    // Fibonacci multiplicative hash; table size is a power of two.
+    const std::uint64_t h =
+        (static_cast<std::uint64_t>(a) * 0x9E3779B97F4A7C15ull) >> shift_;
+    return table_[h * stride_];
+  }
+
+  // Storage is one atomic byte per `stride_` bytes; sized slots_*stride_.
+  std::atomic<std::uint8_t>* table_ = nullptr;
+  std::size_t slots_ = 0;
+  std::size_t stride_ = 1;
+  unsigned shift_ = 0;  // 64 - log2(slots_)
+};
+
+// ---------------------------------------------------------------------------
+// Policies
+// ---------------------------------------------------------------------------
+
+struct AdjacentPolicy {
+  static constexpr CounterKind kind = CounterKind::kAdjacent;
+  static constexpr const char* name = "flit-adjacent";
+};
+
+struct HashedPolicy {
+  static constexpr CounterKind kind = CounterKind::kExternal;
+  static constexpr unsigned gran_shift = 0;
+  static constexpr const char* name = "flit-HT";
+  static void tag(const void* a) noexcept {
+    HashedCounterTable::instance().tag(a, gran_shift);
+  }
+  static void untag(const void* a) noexcept {
+    HashedCounterTable::instance().untag(a, gran_shift);
+  }
+  static bool tagged(const void* a) noexcept {
+    return HashedCounterTable::instance().tagged(a, gran_shift);
+  }
+};
+
+/// Same table, but addresses are first truncated to their cache line: one
+/// logical counter per data line (paper §8 extension).
+struct PerLinePolicy {
+  static constexpr CounterKind kind = CounterKind::kExternal;
+  static constexpr unsigned gran_shift = 6;  // log2(cache line)
+  static constexpr const char* name = "flit-perline";
+  static void tag(const void* a) noexcept {
+    HashedCounterTable::instance().tag(a, gran_shift);
+  }
+  static void untag(const void* a) noexcept {
+    HashedCounterTable::instance().untag(a, gran_shift);
+  }
+  static bool tagged(const void* a) noexcept {
+    return HashedCounterTable::instance().tagged(a, gran_shift);
+  }
+};
+
+struct PlainPolicy {
+  static constexpr CounterKind kind = CounterKind::kPlain;
+  static constexpr const char* name = "plain";
+};
+
+struct VolatilePolicy {
+  static constexpr CounterKind kind = CounterKind::kVolatile;
+  static constexpr const char* name = "non-persistent";
+};
+
+}  // namespace flit

@@ -1,0 +1,26 @@
+// pv.hpp — vocabulary of the P-V Interface (paper §3, Definition 1).
+//
+// Every FliT instruction is either a *p-instruction* (its value must be
+// persisted: it creates dependencies that must reach NVRAM before the
+// issuing process's next shared store or operation completion) or a
+// *v-instruction* (persistence has been reasoned away; it adds no
+// dependencies). The choice is carried by a `pflag` argument on every
+// flit-instruction, with a per-variable default selected at declaration
+// time via the `flush_option` template argument — exactly the interface in
+// Figure 1 of the paper.
+#pragma once
+
+namespace flit {
+
+/// Per-variable default for the pflag argument (paper Figure 2 uses
+/// flush_option::persisted as the declaration-site default).
+enum class flush_option : bool {
+  volatile_ = false,  ///< default to v-instructions
+  persisted = true,   ///< default to p-instructions
+};
+
+/// Convenience constants mirroring the paper's pseudocode (`pflag`).
+inline constexpr bool kPersist = true;   ///< p-instruction
+inline constexpr bool kVolatile = false; ///< v-instruction
+
+}  // namespace flit

@@ -1,0 +1,218 @@
+// harris_list.hpp — Harris's lock-free linked list [DISC'01], written
+// against the FliT instruction API.
+//
+// This is the paper's running example (§1: "a C++11 implementation of
+// Harris's linked list can be made durably linearizable by changing just
+// seven lines of code") and one of the four evaluated structures. Deletion
+// is two-phase: a delete first *marks* the victim's next pointer (bit 0 —
+// the linearization point) and then physically unlinks it; traversals help
+// unlink marked nodes they encounter.
+//
+// Template parameters:
+//   K, V    — integral key (numeric_limits min/max are reserved for the
+//             sentinels) and trivially copyable value;
+//   Words   — word-wrapper configuration (FliT policy, link-and-persist,
+//             plain, or non-persistent; see core/modes.hpp);
+//   Method  — durability method choosing pflags per call site (Automatic /
+//             NVTraverse / Manual).
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <optional>
+#include <type_traits>
+
+#include "core/modes.hpp"
+#include "ds/tagged_ptr.hpp"
+#include "pmem/pool.hpp"
+#include "recl/ebr.hpp"
+
+namespace flit::ds {
+
+template <class K, class V, class Words = HashedWords,
+          class Method = Automatic>
+class HarrisList {
+  static_assert(std::is_integral_v<K>, "sentinel keys require integral K");
+
+  template <class T>
+  using W = typename Words::template word<T>;
+
+ public:
+  struct Node {
+    W<K> key;
+    W<V> value;
+    W<Node*> next;  // bit 0 = deletion mark
+    Node(K k, V v, Node* n) noexcept : key(k), value(v), next(n) {}
+  };
+
+  static constexpr K kMinKey = std::numeric_limits<K>::min();
+  static constexpr K kMaxKey = std::numeric_limits<K>::max();
+
+  HarrisList() {
+    tail_ = pmem::pnew<Node>(kMaxKey, V{}, nullptr);
+    head_ = pmem::pnew<Node>(kMinKey, V{}, tail_);
+    Words::persist_obj(tail_);
+    Words::persist_obj(head_);
+  }
+
+  ~HarrisList() {
+    if (!owns_) return;
+    Node* n = head_;
+    while (n != nullptr) {
+      Node* nxt = without_mark(n->next.load_private());
+      pmem::pdelete(n);
+      n = nxt;
+    }
+  }
+
+  HarrisList(const HarrisList&) = delete;
+  HarrisList& operator=(const HarrisList&) = delete;
+
+  HarrisList(HarrisList&& o) noexcept
+      : head_(o.head_), tail_(o.tail_), owns_(o.owns_) {
+    o.owns_ = false;
+    o.head_ = o.tail_ = nullptr;
+  }
+
+  /// Insert (k, v). Returns false if k is already present.
+  bool insert(K k, V v) {
+    recl::Ebr::Guard g;
+    for (;;) {
+      auto [pred, curr] = search(k);
+      if (curr->key.load(Method::critical_load) == k) {
+        Words::operation_completion();
+        return false;
+      }
+      Node* node = pmem::pnew<Node>(k, v, curr);
+      if (Method::persist_node_init) Words::persist_obj(node);
+      Node* expected = curr;
+      if (pred->next.cas(expected, node, Method::critical_store)) {
+        Words::operation_completion();
+        return true;
+      }
+      pmem::pdelete(node);  // never published; immediate free is safe
+    }
+  }
+
+  /// Remove k. Returns false if k is absent.
+  bool remove(K k) {
+    recl::Ebr::Guard g;
+    for (;;) {
+      auto [pred, curr] = search(k);
+      if (curr->key.load(Method::critical_load) != k) {
+        Words::operation_completion();
+        return false;
+      }
+      Node* succ = curr->next.load(Method::critical_load);
+      if (is_marked(succ)) continue;  // raced with another remover; re-find
+      // Logical deletion: mark curr's next pointer (linearization point).
+      Node* expected = succ;
+      if (!curr->next.cas(expected, with_mark(succ),
+                          Method::critical_store)) {
+        continue;  // next changed (insert after curr, or competing mark)
+      }
+      // Physical deletion: unlink; on failure, search() will help.
+      Node* e = curr;
+      if (pred->next.cas(e, succ, Method::cleanup_store)) {
+        recl::Ebr::instance().retire_pmem(curr);
+      } else {
+        search(k);  // ensures curr is unlinked (and retired by the helper)
+      }
+      Words::operation_completion();
+      return true;
+    }
+  }
+
+  /// Membership test.
+  bool contains(K k) const {
+    recl::Ebr::Guard g;
+    auto [pred, curr] = const_cast<HarrisList*>(this)->search(k);
+    (void)pred;
+    const bool found = curr->key.load(Method::transition_load) == k;
+    Words::operation_completion();
+    return found;
+  }
+
+  /// Lookup returning the value.
+  std::optional<V> find(K k) const {
+    recl::Ebr::Guard g;
+    auto [pred, curr] = const_cast<HarrisList*>(this)->search(k);
+    (void)pred;
+    std::optional<V> out;
+    if (curr->key.load(Method::transition_load) == k) {
+      out = curr->value.load(Method::transition_load);
+    }
+    Words::operation_completion();
+    return out;
+  }
+
+  /// Number of reachable (unmarked) keys; single-threaded use only.
+  std::size_t size() const {
+    std::size_t n = 0;
+    const Node* c = without_mark(head_->next.load_private());
+    while (c != tail_) {
+      if (!is_marked(c->next.load_private())) ++n;
+      c = without_mark(c->next.load_private());
+    }
+    return n;
+  }
+
+  // --- crash recovery ------------------------------------------------------
+
+  /// Address of the root pointer pair for persistence tests: the head
+  /// sentinel (in the persistent pool) fully determines the structure.
+  Node* head() const noexcept { return head_; }
+  Node* tail() const noexcept { return tail_; }
+
+  /// Rebuild a (non-owning) handle onto a structure whose nodes survived a
+  /// crash in the persistent pool. Recovery is read-only, per the model.
+  static HarrisList recover(Node* head, Node* tail) {
+    return HarrisList(head, tail);
+  }
+
+ private:
+  HarrisList(Node* head, Node* tail) noexcept
+      : head_(head), tail_(tail), owns_(false) {}
+
+  /// Harris search: returns (pred, curr) where curr is the first unmarked
+  /// node with key >= k and pred is its unmarked predecessor. Helps unlink
+  /// marked nodes along the way.
+  std::pair<Node*, Node*> search(K k) {
+  retry:
+    for (;;) {
+      Node* pred = head_;
+      Node* curr = without_mark(pred->next.load(Method::traversal_load));
+      for (;;) {
+        Node* succ = curr->next.load(Method::traversal_load);
+        while (is_marked(succ)) {
+          // curr is logically deleted: unlink it before moving on.
+          Node* expected = curr;
+          if (!pred->next.cas(expected, without_mark(succ),
+                              Method::cleanup_store)) {
+            goto retry;
+          }
+          recl::Ebr::instance().retire_pmem(curr);
+          curr = without_mark(succ);
+          succ = curr->next.load(Method::traversal_load);
+        }
+        if (curr->key.load(Method::traversal_load) >= k) {
+          // NVtraverse/manual transition: flush-if-tagged the nodes the
+          // critical phase depends on.
+          if (Method::traversal_load != Method::transition_load) {
+            pred->next.load(Method::transition_load);
+            curr->next.load(Method::transition_load);
+          }
+          return {pred, curr};
+        }
+        pred = curr;
+        curr = without_mark(succ);
+      }
+    }
+  }
+
+  Node* head_ = nullptr;
+  Node* tail_ = nullptr;
+  bool owns_ = true;
+};
+
+}  // namespace flit::ds

@@ -1,0 +1,102 @@
+// hash_table.hpp — lock-free hash table with one Harris list per bucket,
+// as evaluated in the paper (§6: "a hash table which uses Harris's linked
+// list to implement each bucket").
+//
+// The bucket count is fixed at construction (the paper sizes it to the key
+// range, keeping chains short). Bucket roots — the head/tail sentinel
+// pointers of each chain — are stored in the persistent pool so a crash
+// test can recover the whole table from the root array alone.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "ds/harris_list.hpp"
+
+namespace flit::ds {
+
+template <class K, class V, class Words = HashedWords,
+          class Method = Automatic>
+class HashTable {
+ public:
+  using Bucket = HarrisList<K, V, Words, Method>;
+  using Node = typename Bucket::Node;
+
+  /// Persistent root record: everything recovery needs.
+  struct Roots {
+    std::size_t nbuckets;
+    // Followed in memory by nbuckets {head, tail} pairs.
+    struct Entry {
+      Node* head;
+      Node* tail;
+    };
+    Entry entries[1];  // flexible-array idiom; allocated oversized
+  };
+
+  explicit HashTable(std::size_t nbuckets) {
+    buckets_.reserve(nbuckets);
+    for (std::size_t i = 0; i < nbuckets; ++i) buckets_.emplace_back();
+
+    const std::size_t bytes =
+        sizeof(Roots) + (nbuckets - 1) * sizeof(typename Roots::Entry);
+    roots_ = static_cast<Roots*>(pmem::Pool::instance().alloc(bytes));
+    roots_bytes_ = bytes;
+    roots_->nbuckets = nbuckets;
+    for (std::size_t i = 0; i < nbuckets; ++i) {
+      roots_->entries[i] = {buckets_[i].head(), buckets_[i].tail()};
+    }
+    if constexpr (Words::persistent) pmem::persist_range(roots_, bytes);
+  }
+
+  HashTable(const HashTable&) = delete;
+  HashTable& operator=(const HashTable&) = delete;
+  HashTable(HashTable&&) noexcept = default;
+
+  bool insert(K k, V v) { return bucket(k).insert(k, v); }
+  bool remove(K k) { return bucket(k).remove(k); }
+  bool contains(K k) const { return bucket(k).contains(k); }
+  std::optional<V> find(K k) const { return bucket(k).find(k); }
+
+  std::size_t bucket_count() const noexcept { return buckets_.size(); }
+
+  /// Total reachable keys; single-threaded use only.
+  std::size_t size() const {
+    std::size_t n = 0;
+    for (const Bucket& b : buckets_) n += b.size();
+    return n;
+  }
+
+  // --- crash recovery ------------------------------------------------------
+
+  Roots* roots() const noexcept { return roots_; }
+
+  /// Rebuild non-owning bucket handles from a persisted root array.
+  static HashTable recover(Roots* roots) {
+    HashTable t(RecoverTag{});
+    t.roots_ = roots;
+    t.buckets_.reserve(roots->nbuckets);
+    for (std::size_t i = 0; i < roots->nbuckets; ++i) {
+      t.buckets_.push_back(
+          Bucket::recover(roots->entries[i].head, roots->entries[i].tail));
+    }
+    return t;
+  }
+
+ private:
+  struct RecoverTag {};
+  explicit HashTable(RecoverTag) noexcept {}
+
+  std::size_t index(K k) const noexcept {
+    const auto h = static_cast<std::uint64_t>(k) * 0x9E3779B97F4A7C15ull;
+    return static_cast<std::size_t>(h % buckets_.size());
+  }
+  Bucket& bucket(K k) noexcept { return buckets_[index(k)]; }
+  const Bucket& bucket(K k) const noexcept { return buckets_[index(k)]; }
+
+  std::vector<Bucket> buckets_;
+  Roots* roots_ = nullptr;
+  std::size_t roots_bytes_ = 0;
+};
+
+}  // namespace flit::ds

@@ -1,0 +1,375 @@
+// skiplist.hpp — lock-free skiplist (Fraser [2003] / Herlihy–Shavit style),
+// written against the FliT instruction API.
+//
+// One of the four evaluated structures (§6). The set is defined by the
+// bottom level (a Harris-style marked list); upper levels are an index.
+// Deletion marks every level of the victim top-down (bottom level last —
+// the linearization point) and then physically unlinks via a helping
+// search. Nodes have geometric random height; towers make skiplist nodes
+// the structure where the adjacent-counter placement overflows a cache
+// line (paper §6.6).
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <limits>
+#include <optional>
+#include <type_traits>
+
+#include "core/modes.hpp"
+#include "ds/tagged_ptr.hpp"
+#include "pmem/pool.hpp"
+#include "recl/ebr.hpp"
+
+namespace flit::ds {
+
+template <class K, class V, class Words = HashedWords,
+          class Method = Automatic>
+class SkipList {
+  static_assert(std::is_integral_v<K>, "sentinel keys require integral K");
+
+  template <class T>
+  using W = typename Words::template word<T>;
+
+ public:
+  static constexpr int kMaxLevel = 20;
+  static constexpr K kMinKey = std::numeric_limits<K>::min();
+  static constexpr K kMaxKey = std::numeric_limits<K>::max();
+
+  struct Node {
+    W<K> key;
+    W<V> value;
+    int height;        // immutable after construction
+    W<Node*> next[1];  // tower, occupied [0, height); bit 0 = mark
+
+    static std::size_t bytes_for(int h) noexcept {
+      return sizeof(Node) + static_cast<std::size_t>(h - 1) * sizeof(W<Node*>);
+    }
+  };
+
+  SkipList() {
+    tail_ = alloc_node(kMaxKey, V{}, kMaxLevel);
+    head_ = alloc_node(kMinKey, V{}, kMaxLevel);
+    for (int i = 0; i < kMaxLevel; ++i) {
+      head_->next[i].store_private(tail_, kVolatile);
+      tail_->next[i].store_private(nullptr, kVolatile);
+    }
+    persist_node(tail_);
+    persist_node(head_);
+  }
+
+  ~SkipList() {
+    if (!owns_) return;
+    Node* n = head_;
+    while (n != nullptr) {
+      Node* nxt = without_mark(n->next[0].load_private());
+      free_node_now(n);
+      n = nxt;
+    }
+  }
+
+  SkipList(const SkipList&) = delete;
+  SkipList& operator=(const SkipList&) = delete;
+  SkipList(SkipList&& o) noexcept
+      : head_(o.head_), tail_(o.tail_), owns_(o.owns_) {
+    o.owns_ = false;
+    o.head_ = o.tail_ = nullptr;
+  }
+
+  bool insert(K k, V v) {
+    recl::Ebr::Guard g;
+    Node* preds[kMaxLevel];
+    Node* succs[kMaxLevel];
+    const int height = random_height();
+    for (;;) {
+      if (find(k, preds, succs)) {
+        Words::operation_completion();
+        return false;
+      }
+      Node* node = alloc_node(k, v, height);
+      for (int i = 0; i < height; ++i) {
+        node->next[i].store_private(succs[i], kVolatile);
+      }
+      if (Method::persist_node_init) persist_node(node);
+
+      // Linearization: link at the bottom level.
+      Node* expected = succs[0];
+      if (!preds[0]->next[0].cas(expected, node, Method::critical_store)) {
+        free_node_now(node);  // never published
+        continue;
+      }
+      // Index levels: best-effort linking (volatile under Manual). The set
+      // already contains k; any failure here only degrades the index.
+      bool stop = false;
+      for (int level = 1; level < height && !stop; ++level) {
+        for (;;) {
+          Node* mine = node->next[level].load(Method::critical_load);
+          if (is_marked(mine)) {  // node is already being deleted
+            stop = true;
+            break;
+          }
+          Node* succ = succs[level];
+          if (succ == node) break;  // a helper already linked this level
+          if (mine != succ) {
+            Node* e = mine;
+            if (!node->next[level].cas(e, succ, Method::cleanup_store)) {
+              continue;  // re-read our tower pointer and retry
+            }
+          }
+          Node* e = succ;
+          if (preds[level]->next[level].cas(e, node,
+                                            Method::cleanup_store)) {
+            break;
+          }
+          // Predecessor changed; recompute the neighborhood.
+          const bool present = find(k, preds, succs);
+          if (!present || succs[0] != node) {  // removed concurrently
+            stop = true;
+            break;
+          }
+        }
+      }
+      Words::operation_completion();
+      return true;
+    }
+  }
+
+  bool remove(K k) {
+    recl::Ebr::Guard g;
+    Node* preds[kMaxLevel];
+    Node* succs[kMaxLevel];
+    if (!find(k, preds, succs)) {
+      Words::operation_completion();
+      return false;
+    }
+    Node* victim = succs[0];
+    // Mark index levels top-down (helping is idempotent).
+    for (int level = victim->height - 1; level >= 1; --level) {
+      Node* succ = victim->next[level].load(Method::critical_load);
+      while (!is_marked(succ)) {
+        Node* e = succ;
+        victim->next[level].cas(e, with_mark(succ), Method::cleanup_store);
+        succ = victim->next[level].load(Method::critical_load);
+      }
+    }
+    // Bottom-level mark decides the winner (linearization point).
+    Node* succ = victim->next[0].load(Method::critical_load);
+    for (;;) {
+      if (is_marked(succ)) {  // another remover won
+        Words::operation_completion();
+        return false;
+      }
+      Node* e = succ;
+      if (victim->next[0].cas(e, with_mark(succ), Method::critical_store)) {
+        // Physically unlink at every level, then reclaim.
+        find(k, preds, succs);
+        recl::Ebr::instance().retire(victim, &retire_deleter);
+        Words::operation_completion();
+        return true;
+      }
+      succ = e;
+    }
+  }
+
+  bool contains(K k) const {
+    recl::Ebr::Guard g;
+    Node* pred = head_;
+    Node* curr = nullptr;
+    for (int level = kMaxLevel - 1; level >= 0; --level) {
+      curr = without_mark(pred->next[level].load(Method::traversal_load));
+      for (;;) {
+        Node* succ = curr->next[level].load(Method::traversal_load);
+        while (is_marked(succ)) {  // skip logically deleted (wait-free read)
+          curr = without_mark(succ);
+          succ = curr->next[level].load(Method::traversal_load);
+        }
+        if (curr->key.load(Method::traversal_load) < k) {
+          pred = curr;
+          curr = without_mark(succ);
+        } else {
+          break;
+        }
+      }
+    }
+    bool found = curr->key.load(Method::transition_load) == k &&
+                 !is_marked(curr->next[0].load(Method::transition_load));
+    Words::operation_completion();
+    return found;
+  }
+
+  std::optional<V> find_value(K k) const {
+    recl::Ebr::Guard g;
+    Node* preds[kMaxLevel];
+    Node* succs[kMaxLevel];
+    std::optional<V> out;
+    if (const_cast<SkipList*>(this)->find(k, preds, succs)) {
+      out = succs[0]->value.load(Method::transition_load);
+    }
+    Words::operation_completion();
+    return out;
+  }
+
+  /// Reachable key count at the bottom level; single-threaded use only.
+  std::size_t size() const {
+    std::size_t n = 0;
+    const Node* c = without_mark(head_->next[0].load_private());
+    while (c != tail_) {
+      if (!is_marked(c->next[0].load_private())) ++n;
+      c = without_mark(c->next[0].load_private());
+    }
+    return n;
+  }
+
+  // --- crash recovery ------------------------------------------------------
+
+  Node* head() const noexcept { return head_; }
+  Node* tail() const noexcept { return tail_; }
+
+  /// Post-crash recovery. The durable set is the bottom level (every
+  /// insert/delete linearizes there with p-instructions); the index levels
+  /// may be stale after a crash — under the Manual method the index is
+  /// maintained entirely with v-instructions, so a node can even be marked
+  /// at level 0 but look alive above. Like the durable skiplists in the
+  /// literature, recovery therefore rebuilds the index from the bottom
+  /// level (single-threaded, then re-persisted) instead of trusting it.
+  static SkipList recover(Node* head, Node* tail) {
+    SkipList s(head, tail);
+    s.rebuild_index();
+    return s;
+  }
+
+ private:
+  SkipList(Node* head, Node* tail) noexcept
+      : head_(head), tail_(tail), owns_(false) {}
+
+  /// Single-threaded crash-recovery repair: walk the durable bottom level,
+  /// splice out logically deleted (marked) nodes, rebuild every index
+  /// level from scratch, and persist the repaired pointers so a subsequent
+  /// crash recovers from a clean image.
+  void rebuild_index() {
+    // Per-level "last node seen with height > level" cursors.
+    Node* prev_at[kMaxLevel];
+    for (int i = 0; i < kMaxLevel; ++i) prev_at[i] = head_;
+
+    Node* prev0 = head_;
+    Node* c = without_mark(head_->next[0].load_private());
+    while (c != tail_ && c != nullptr) {
+      Node* nxt = c->next[0].load_private();
+      if (is_marked(nxt)) {  // logically deleted: drop from every level
+        c = without_mark(nxt);
+        continue;
+      }
+      // Live node: stitch bottom level and its index levels.
+      if (prev0->next[0].load_private() != c) {
+        prev0->next[0].store_private(c, kVolatile);
+      }
+      prev0 = c;
+      for (int lvl = 1; lvl < c->height && lvl < kMaxLevel; ++lvl) {
+        prev_at[lvl]->next[lvl].store_private(c, kVolatile);
+        prev_at[lvl] = c;
+      }
+      c = without_mark(nxt);
+    }
+    // Terminate every level at the tail.
+    prev0->next[0].store_private(tail_, kVolatile);
+    for (int lvl = 1; lvl < kMaxLevel; ++lvl) {
+      prev_at[lvl]->next[lvl].store_private(tail_, kVolatile);
+    }
+    if constexpr (Words::persistent) {
+      // Re-persist every repaired tower (head, tail, and all live nodes).
+      persist_node(head_);
+      persist_node(tail_);
+      for (Node* n = without_mark(head_->next[0].load_private());
+           n != tail_ && n != nullptr;
+           n = without_mark(n->next[0].load_private())) {
+        persist_node(n);
+      }
+      pmem::pfence();
+    }
+  }
+
+  /// Fraser search with helping: fills preds/succs at every level; returns
+  /// true iff an unmarked node with key k is present at the bottom level.
+  bool find(K k, Node** preds, Node** succs) {
+  retry:
+    Node* pred = head_;
+    for (int level = kMaxLevel - 1; level >= 0; --level) {
+      Node* curr = without_mark(pred->next[level].load(Method::traversal_load));
+      for (;;) {
+        Node* succ = curr->next[level].load(Method::traversal_load);
+        while (is_marked(succ)) {
+          // curr is deleted at this level: unlink it.
+          Node* expected = curr;
+          if (!pred->next[level].cas(expected, without_mark(succ),
+                                     Method::cleanup_store)) {
+            goto retry;
+          }
+          curr = without_mark(succ);
+          succ = curr->next[level].load(Method::traversal_load);
+        }
+        if (curr->key.load(Method::traversal_load) < k) {
+          pred = curr;
+          curr = without_mark(succ);
+        } else {
+          break;
+        }
+      }
+      preds[level] = pred;
+      succs[level] = curr;
+    }
+    // NVtraverse/manual transition: flush-if-tagged what the critical phase
+    // will touch.
+    if (Method::traversal_load != Method::transition_load) {
+      preds[0]->next[0].load(Method::transition_load);
+      succs[0]->next[0].load(Method::transition_load);
+    }
+    return succs[0]->key.load(Method::transition_load) == k;
+  }
+
+  static void persist_node(const Node* n) {
+    if constexpr (Words::persistent) {
+      pmem::persist_range(n, Node::bytes_for(n->height));
+    }
+  }
+
+  static Node* alloc_node(K k, V v, int h) {
+    void* mem = pmem::Pool::instance().alloc(Node::bytes_for(h));
+    Node* n = static_cast<Node*>(mem);
+    new (&n->key) W<K>(k);
+    new (&n->value) W<V>(v);
+    n->height = h;
+    for (int i = 0; i < h; ++i) new (&n->next[i]) W<Node*>(nullptr);
+    return n;
+  }
+
+  static void free_node_now(Node* n) noexcept {
+    // W<> wrappers are trivially destructible; release the raw block.
+    pmem::Pool::instance().dealloc(n, Node::bytes_for(n->height));
+  }
+
+  static void retire_deleter(void* p) {
+    free_node_now(static_cast<Node*>(p));
+  }
+
+  static int random_height() noexcept {
+    static thread_local std::uint64_t state = []() {
+      const auto seed = reinterpret_cast<std::uintptr_t>(&state);
+      return static_cast<std::uint64_t>(seed) * 0x9E3779B97F4A7C15ull | 1;
+    }();
+    // xorshift64*
+    state ^= state >> 12;
+    state ^= state << 25;
+    state ^= state >> 27;
+    const std::uint64_t r = state * 0x2545F4914F6CDD1Dull;
+    int h = 1;
+    // Geometric with p = 1/2, capped at kMaxLevel.
+    while (h < kMaxLevel && (r >> h) & 1) ++h;
+    return h;
+  }
+
+  Node* head_ = nullptr;
+  Node* tail_ = nullptr;
+  bool owns_ = true;
+};
+
+}  // namespace flit::ds

@@ -1,0 +1,52 @@
+// tagged_ptr.hpp — low-bit pointer tagging helpers shared by the lock-free
+// structures.
+//
+// Bit assignments across the library:
+//   bit 0 — data-structure logical-deletion mark (Harris / Fraser / the
+//           hash-table buckets) or the BST "flag";
+//   bit 1 — either the BST "tag" (Natarajan–Mittal use two control bits,
+//           which is why link-and-persist cannot serve the BST), or the
+//           link-and-persist dirty flag (handled inside lap_word, invisible
+//           to the structures).
+#pragma once
+
+#include <cstdint>
+
+namespace flit::ds {
+
+inline constexpr std::uintptr_t kMarkBit = 0x1;
+inline constexpr std::uintptr_t kFlagBit = 0x1;  // BST terminology
+inline constexpr std::uintptr_t kTagBit = 0x2;   // BST only
+
+template <class P>
+P* with_mark(P* p) noexcept {
+  return reinterpret_cast<P*>(reinterpret_cast<std::uintptr_t>(p) | kMarkBit);
+}
+
+template <class P>
+P* without_mark(P* p) noexcept {
+  return reinterpret_cast<P*>(reinterpret_cast<std::uintptr_t>(p) &
+                              ~kMarkBit);
+}
+
+template <class P>
+bool is_marked(P* p) noexcept {
+  return (reinterpret_cast<std::uintptr_t>(p) & kMarkBit) != 0;
+}
+
+template <class P>
+P* with_bits(P* p, std::uintptr_t bits) noexcept {
+  return reinterpret_cast<P*>(reinterpret_cast<std::uintptr_t>(p) | bits);
+}
+
+template <class P>
+P* without_bits(P* p, std::uintptr_t bits) noexcept {
+  return reinterpret_cast<P*>(reinterpret_cast<std::uintptr_t>(p) & ~bits);
+}
+
+template <class P>
+std::uintptr_t get_bits(P* p, std::uintptr_t bits) noexcept {
+  return reinterpret_cast<std::uintptr_t>(p) & bits;
+}
+
+}  // namespace flit::ds

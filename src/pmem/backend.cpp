@@ -1,0 +1,90 @@
+#include "pmem/backend.hpp"
+
+namespace flit::pmem {
+
+namespace detail {
+
+std::atomic<int> g_backend{static_cast<int>(Backend::kSimLatency)};
+std::atomic<std::uint32_t> g_pwb_delay_ns{90};
+std::atomic<std::uint32_t> g_pfence_delay_ns{60};
+
+#if defined(__x86_64__) || defined(__i386__)
+
+namespace {
+
+__attribute__((target("clwb"))) void do_clwb(const void* p) noexcept {
+  __builtin_ia32_clwb(const_cast<void*>(p));
+}
+
+__attribute__((target("clflushopt"))) void do_clflushopt(
+    const void* p) noexcept {
+  __builtin_ia32_clflushopt(const_cast<void*>(p));
+}
+
+void do_clflush(const void* p) noexcept {
+  __builtin_ia32_clflush(const_cast<void*>(p));
+}
+
+void do_nothing(const void*) noexcept {}
+
+using FlushFn = void (*)(const void*) noexcept;
+
+FlushFn pick_flush_fn() noexcept {
+  switch (detect_flush_instruction()) {
+    case FlushInstruction::kClwb:
+      return &do_clwb;
+    case FlushInstruction::kClflushOpt:
+      return &do_clflushopt;
+    case FlushInstruction::kClflush:
+      return &do_clflush;
+    case FlushInstruction::kNone:
+      return &do_nothing;
+  }
+  return &do_nothing;
+}
+
+}  // namespace
+
+void hw_flush_line(const void* p) noexcept {
+  static const FlushFn fn = pick_flush_fn();
+  fn(line_base(p));
+}
+
+void hw_sfence() noexcept { __builtin_ia32_sfence(); }
+
+#else  // non-x86: hardware backend degrades to fences only
+
+void hw_flush_line(const void*) noexcept {}
+
+void hw_sfence() noexcept {
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+}
+
+#endif
+
+}  // namespace detail
+
+void set_backend(Backend b) noexcept {
+  detail::g_backend.store(static_cast<int>(b), std::memory_order_relaxed);
+}
+
+void set_sim_latency(std::uint32_t pwb_ns, std::uint32_t pfence_ns) noexcept {
+  detail::g_pwb_delay_ns.store(pwb_ns, std::memory_order_relaxed);
+  detail::g_pfence_delay_ns.store(pfence_ns, std::memory_order_relaxed);
+}
+
+const char* to_string(Backend b) noexcept {
+  switch (b) {
+    case Backend::kNoOp:
+      return "noop";
+    case Backend::kHardware:
+      return "hardware";
+    case Backend::kSimLatency:
+      return "sim-latency";
+    case Backend::kSimCrash:
+      return "sim-crash";
+  }
+  return "unknown";
+}
+
+}  // namespace flit::pmem

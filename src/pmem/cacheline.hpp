@@ -1,0 +1,56 @@
+// cacheline.hpp — cache-line geometry constants and alignment helpers.
+//
+// Part of the FliT persistence substrate. Everything in the substrate that
+// reasons about flushing does so at cache-line granularity, mirroring the
+// hardware clwb/clflushopt/clflush instructions which write back whole lines.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace flit::pmem {
+
+/// Cache-line size assumed throughout the library. 64 bytes on every x86
+/// microarchitecture we target (and on most AArch64 parts). A build-time
+/// override is possible via -DFLIT_CACHELINE_SIZE=<n>.
+#ifndef FLIT_CACHELINE_SIZE
+inline constexpr std::size_t kCacheLineSize = 64;
+#else
+inline constexpr std::size_t kCacheLineSize = FLIT_CACHELINE_SIZE;
+#endif
+
+static_assert((kCacheLineSize & (kCacheLineSize - 1)) == 0,
+              "cache line size must be a power of two");
+
+/// Round `addr` down to the start of its cache line.
+constexpr std::uintptr_t line_base(std::uintptr_t addr) noexcept {
+  return addr & ~static_cast<std::uintptr_t>(kCacheLineSize - 1);
+}
+
+inline const void* line_base(const void* p) noexcept {
+  return reinterpret_cast<const void*>(
+      line_base(reinterpret_cast<std::uintptr_t>(p)));
+}
+
+/// Index of the cache line containing `addr`, relative to `base`.
+/// Precondition: addr >= base.
+constexpr std::size_t line_index(std::uintptr_t base,
+                                 std::uintptr_t addr) noexcept {
+  return (addr - base) / kCacheLineSize;
+}
+
+/// Number of cache lines spanned by the byte range [addr, addr+len).
+constexpr std::size_t lines_spanned(std::uintptr_t addr,
+                                    std::size_t len) noexcept {
+  if (len == 0) return 0;
+  const std::uintptr_t first = line_base(addr);
+  const std::uintptr_t last = line_base(addr + len - 1);
+  return (last - first) / kCacheLineSize + 1;
+}
+
+/// Round `n` up to a multiple of the cache-line size.
+constexpr std::size_t round_up_to_line(std::size_t n) noexcept {
+  return (n + kCacheLineSize - 1) & ~(kCacheLineSize - 1);
+}
+
+}  // namespace flit::pmem

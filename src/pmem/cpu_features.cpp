@@ -1,0 +1,49 @@
+#include "pmem/cpu_features.hpp"
+
+#if defined(__x86_64__) || defined(_M_X64) || defined(__i386__)
+#define FLIT_X86 1
+#include <cpuid.h>
+#endif
+
+namespace flit::pmem {
+
+namespace {
+
+FlushInstruction detect_impl() noexcept {
+#ifdef FLIT_X86
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  // Leaf 7, subleaf 0: EBX bit 24 = CLWB, EBX bit 23 = CLFLUSHOPT.
+  if (__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx)) {
+    if (ebx & (1u << 24)) return FlushInstruction::kClwb;
+    if (ebx & (1u << 23)) return FlushInstruction::kClflushOpt;
+  }
+  // Leaf 1: EDX bit 19 = CLFSH (clflush).
+  if (__get_cpuid(1, &eax, &ebx, &ecx, &edx)) {
+    if (edx & (1u << 19)) return FlushInstruction::kClflush;
+  }
+#endif
+  return FlushInstruction::kNone;
+}
+
+}  // namespace
+
+FlushInstruction detect_flush_instruction() noexcept {
+  static const FlushInstruction cached = detect_impl();
+  return cached;
+}
+
+const char* to_string(FlushInstruction f) noexcept {
+  switch (f) {
+    case FlushInstruction::kClwb:
+      return "clwb";
+    case FlushInstruction::kClflushOpt:
+      return "clflushopt";
+    case FlushInstruction::kClflush:
+      return "clflush";
+    case FlushInstruction::kNone:
+      return "none";
+  }
+  return "unknown";
+}
+
+}  // namespace flit::pmem

@@ -1,0 +1,27 @@
+// cpu_features.hpp — runtime detection of the flush instructions available
+// on the executing CPU (clwb / clflushopt / clflush).
+//
+// The paper (§6.1) uses clwb, the weakest non-blocking flush, noting that on
+// Cascade Lake clwb still invalidates the line. We detect the best available
+// instruction at startup and fall back gracefully so the library runs on any
+// x86-64 machine — and, with the simulated backends, on any machine at all.
+#pragma once
+
+namespace flit::pmem {
+
+/// Which hardware cache-line write-back instruction is available.
+enum class FlushInstruction {
+  kNone,        ///< No usable flush instruction (non-x86 or ancient CPU).
+  kClflush,     ///< clflush: serializing, invalidates the line.
+  kClflushOpt,  ///< clflushopt: non-serializing, invalidates the line.
+  kClwb,        ///< clwb: non-serializing, architecturally may keep the line.
+};
+
+/// Detect the best flush instruction supported by this CPU. The result is
+/// computed once and cached; safe to call concurrently.
+FlushInstruction detect_flush_instruction() noexcept;
+
+/// Human-readable name ("clwb", "clflushopt", "clflush", "none").
+const char* to_string(FlushInstruction f) noexcept;
+
+}  // namespace flit::pmem

@@ -1,0 +1,139 @@
+#include "pmem/file_region.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "pmem/cacheline.hpp"
+
+namespace flit::pmem {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("FileRegion: " + what + " (" +
+                           std::strerror(errno) + ")");
+}
+
+}  // namespace
+
+FileRegion& FileRegion::operator=(FileRegion&& o) noexcept {
+  if (this != &o) {
+    close();
+    base_ = std::exchange(o.base_, nullptr);
+    capacity_ = std::exchange(o.capacity_, 0);
+    fd_ = std::exchange(o.fd_, -1);
+    recovered_ = std::exchange(o.recovered_, false);
+  }
+  return *this;
+}
+
+FileRegion FileRegion::open(const std::string& path, std::size_t capacity) {
+  capacity = round_up_to_line(capacity);
+  if (capacity < kHeaderSize + kCacheLineSize) {
+    throw std::runtime_error("FileRegion: capacity too small");
+  }
+
+  FileRegion r;
+  const bool existed = ::access(path.c_str(), F_OK) == 0;
+  r.fd_ = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (r.fd_ < 0) fail("open " + path);
+
+  Header prev{};
+  bool have_prev = false;
+  if (existed) {
+    const ssize_t n = ::pread(r.fd_, &prev, sizeof(prev), 0);
+    have_prev = n == static_cast<ssize_t>(sizeof(prev)) &&
+                prev.magic == kMagic;
+    if (have_prev) capacity = static_cast<std::size_t>(prev.capacity);
+  }
+  if (::ftruncate(r.fd_, static_cast<off_t>(capacity)) != 0) {
+    ::close(r.fd_);
+    fail("ftruncate");
+  }
+
+  void* hint = have_prev ? reinterpret_cast<void*>(prev.base) : nullptr;
+  int flags = MAP_SHARED;
+#ifdef MAP_FIXED_NOREPLACE
+  if (hint != nullptr) flags |= MAP_FIXED_NOREPLACE;
+#endif
+  void* mem = ::mmap(hint, capacity, PROT_READ | PROT_WRITE, flags, r.fd_, 0);
+  if (mem == MAP_FAILED) {
+    ::close(r.fd_);
+    fail("mmap");
+  }
+  if (have_prev && mem != hint) {
+    ::munmap(mem, capacity);
+    ::close(r.fd_);
+    throw std::runtime_error(
+        "FileRegion: could not re-map at the recorded base address; "
+        "pointers inside the region would dangle");
+  }
+  r.base_ = mem;
+  r.capacity_ = capacity;
+  r.recovered_ = have_prev;
+
+  Header* h = r.header();
+  if (!have_prev) {
+    std::memset(h, 0, sizeof(Header));
+    h->magic = kMagic;
+    h->version = 1;
+    h->base = reinterpret_cast<std::uint64_t>(mem);
+    h->capacity = capacity;
+    h->bump_offset = 0;
+    r.sync();
+  }
+  return r;
+}
+
+void FileRegion::destroy(const std::string& path) {
+  (void)::unlink(path.c_str());
+}
+
+void FileRegion::set_root(std::size_t slot, const void* p) {
+  if (slot >= kMaxRoots) throw std::runtime_error("FileRegion: bad root slot");
+  header()->roots[slot] =
+      p == nullptr
+          ? 0
+          : reinterpret_cast<std::uint64_t>(p) -
+                reinterpret_cast<std::uint64_t>(base_);
+}
+
+void* FileRegion::root(std::size_t slot) const {
+  if (slot >= kMaxRoots) throw std::runtime_error("FileRegion: bad root slot");
+  const std::uint64_t off = header()->roots[slot];
+  return off == 0 ? nullptr : static_cast<std::byte*>(base_) + off;
+}
+
+void FileRegion::set_bump(std::size_t offset) {
+  header()->bump_offset = offset;
+}
+
+std::size_t FileRegion::bump() const {
+  return static_cast<std::size_t>(header()->bump_offset);
+}
+
+void FileRegion::sync() {
+  if (base_ == nullptr) return;
+  if (::msync(base_, capacity_, MS_SYNC) != 0) fail("msync");
+}
+
+void FileRegion::close() {
+  if (base_ != nullptr) {
+    (void)::msync(base_, capacity_, MS_SYNC);
+    ::munmap(base_, capacity_);
+    base_ = nullptr;
+  }
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace flit::pmem

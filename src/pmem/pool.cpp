@@ -1,0 +1,175 @@
+#include "pmem/pool.hpp"
+
+#include <sys/mman.h>
+
+#include <atomic>
+#include <cassert>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+#include "pmem/cacheline.hpp"
+#include "pmem/sim_memory.hpp"
+
+namespace flit::pmem {
+
+namespace {
+
+std::atomic<std::uint64_t> g_pool_epoch{0};
+std::atomic<std::size_t> g_bump{0};
+std::mutex g_init_mu;
+
+std::size_t env_capacity() {
+  if (const char* s = std::getenv("FLIT_POOL_BYTES")) {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(s, &end, 10);
+    if (end != s && v >= (1u << 20)) return static_cast<std::size_t>(v);
+  }
+  return Pool::kDefaultCapacity;
+}
+
+}  // namespace
+
+Pool& Pool::instance() {
+  static Pool p;
+  return p;
+}
+
+Pool::~Pool() {
+  if (base_ != nullptr && owns_mapping_) ::munmap(base_, capacity_);
+}
+
+Pool::ThreadArena& Pool::tls_arena() {
+  static thread_local ThreadArena a;
+  return a;
+}
+
+void Pool::reinit(std::size_t capacity) {
+  std::lock_guard<std::mutex> lk(g_init_mu);
+  if (base_ != nullptr) {
+    if (owns_mapping_) ::munmap(base_, capacity_);
+    base_ = nullptr;
+    capacity_ = 0;
+  }
+  owns_mapping_ = true;
+  capacity = round_up_to_line(capacity);
+  void* mem = ::mmap(nullptr, capacity, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+  if (mem == MAP_FAILED) throw std::bad_alloc();
+  base_ = mem;
+  capacity_ = capacity;
+  g_bump.store(0, std::memory_order_relaxed);
+  // Invalidate every thread's arena lazily.
+  g_pool_epoch.fetch_add(1, std::memory_order_acq_rel);
+}
+
+void Pool::reset() {
+  std::lock_guard<std::mutex> lk(g_init_mu);
+  g_bump.store(0, std::memory_order_relaxed);
+  g_pool_epoch.fetch_add(1, std::memory_order_acq_rel);
+}
+
+void Pool::ensure_init() {
+  if (base_ != nullptr) return;
+  std::size_t cap = env_capacity();
+  {
+    std::lock_guard<std::mutex> lk(g_init_mu);
+    if (base_ != nullptr) return;
+    cap = round_up_to_line(cap);
+    void* mem = ::mmap(nullptr, cap, PROT_READ | PROT_WRITE,
+                       MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+    if (mem == MAP_FAILED) throw std::bad_alloc();
+    base_ = mem;
+    capacity_ = cap;
+  }
+}
+
+std::byte* Pool::bump_chunk(std::size_t bytes) {
+  const std::size_t off = g_bump.fetch_add(bytes, std::memory_order_relaxed);
+  if (off + bytes > capacity_) throw std::bad_alloc();
+  return static_cast<std::byte*>(base_) + off;
+}
+
+void* Pool::alloc(std::size_t size) {
+  ensure_init();
+  assert(size > 0);
+  const std::size_t rounded =
+      (size + kGranularity - 1) & ~(kGranularity - 1);
+
+  ThreadArena& a = tls_arena();
+  const std::uint64_t epoch = g_pool_epoch.load(std::memory_order_acquire);
+  if (a.epoch != epoch) {
+    a.cur = a.end = nullptr;
+    std::memset(a.free_lists, 0, sizeof(a.free_lists));
+    a.epoch = epoch;
+  }
+
+  // Large allocations bypass the arena.
+  if (rounded > kNumSizeClasses * kGranularity) {
+    return bump_chunk(round_up_to_line(rounded));
+  }
+
+  // Fast path 1: per-thread size-class free list.
+  const std::size_t cls = size_class(rounded);
+  if (FreeNode* n = a.free_lists[cls]) {
+    a.free_lists[cls] = n->next;
+    return n;
+  }
+
+  // Fast path 2: carve from the thread's chunk.
+  if (a.cur + rounded > a.end) {
+    a.cur = bump_chunk(kChunkSize);
+    a.end = a.cur + kChunkSize;
+  }
+  std::byte* p = a.cur;
+  a.cur += rounded;
+  return p;
+}
+
+void Pool::dealloc(void* p, std::size_t size) noexcept {
+  if (p == nullptr) return;
+  const std::size_t rounded =
+      (size + kGranularity - 1) & ~(kGranularity - 1);
+  if (rounded > kNumSizeClasses * kGranularity) {
+    return;  // large blocks are not recycled (bump-only), like an arena
+  }
+  ThreadArena& a = tls_arena();
+  const std::uint64_t epoch = g_pool_epoch.load(std::memory_order_acquire);
+  if (a.epoch != epoch) {
+    // Block belongs to a discarded pool generation; dropping it is correct.
+    a.cur = a.end = nullptr;
+    std::memset(a.free_lists, 0, sizeof(a.free_lists));
+    a.epoch = epoch;
+    return;
+  }
+  const std::size_t cls = size_class(rounded);
+  auto* n = static_cast<FreeNode*>(p);
+  n->next = a.free_lists[cls];
+  a.free_lists[cls] = n;
+}
+
+void Pool::adopt(void* base, std::size_t capacity,
+                 std::size_t initial_bump) {
+  std::lock_guard<std::mutex> lk(g_init_mu);
+  if (base_ != nullptr && owns_mapping_) ::munmap(base_, capacity_);
+  base_ = base;
+  capacity_ = capacity;
+  owns_mapping_ = false;
+  // Round the recovered mark up to the chunk size so resumed allocation
+  // never overlaps blocks handed out by a previous session's arenas.
+  const std::size_t resumed =
+      (initial_bump + kChunkSize - 1) & ~(kChunkSize - 1);
+  g_bump.store(resumed, std::memory_order_relaxed);
+  g_pool_epoch.fetch_add(1, std::memory_order_acq_rel);
+}
+
+std::size_t Pool::bump_used() const noexcept {
+  return g_bump.load(std::memory_order_relaxed);
+}
+
+void Pool::register_with_sim() {
+  ensure_init();
+  SimMemory::instance().register_region(base_, capacity_);
+}
+
+}  // namespace flit::pmem

@@ -1,0 +1,172 @@
+#include "pmem/sim_memory.hpp"
+
+#include <cassert>
+#include <cstring>
+
+namespace flit::pmem {
+
+SimMemory& SimMemory::instance() {
+  static SimMemory s;
+  return s;
+}
+
+SimMemory::ThreadPending& SimMemory::tls_pending() {
+  static thread_local ThreadPending tp;
+  return tp;
+}
+
+void SimMemory::register_region(void* base, std::size_t len) {
+  const auto b = reinterpret_cast<std::uintptr_t>(base);
+  assert(line_base(b) == b && "region base must be cache-line aligned");
+  len = round_up_to_line(len);
+
+  Region r;
+  r.base = b;
+  r.len = len;
+  r.shadow = std::make_unique<std::byte[]>(len);
+  std::memcpy(r.shadow.get(), base, len);
+
+  std::lock_guard<std::mutex> lk(mu_);
+  regions_.push_back(std::move(r));
+  region_count_.store(regions_.size(), std::memory_order_release);
+}
+
+void SimMemory::clear_regions() {
+  std::lock_guard<std::mutex> lk(mu_);
+  regions_.clear();
+  region_count_.store(0, std::memory_order_release);
+  // Invalidate every thread's pending buffer lazily.
+  crash_epoch_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+const SimMemory::Region* SimMemory::find_region(
+    std::uintptr_t addr) const noexcept {
+  // regions_ is append-only; entries [0, region_count_) are immutable once
+  // published, so lock-free reads are safe.
+  const std::size_t n = region_count_.load(std::memory_order_acquire);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Region& r = regions_[i];
+    if (addr >= r.base && addr < r.base + r.len) return &r;
+  }
+  return nullptr;
+}
+
+bool SimMemory::contains(const void* p) const noexcept {
+  return find_region(reinterpret_cast<std::uintptr_t>(p)) != nullptr;
+}
+
+void SimMemory::on_pwb(const void* addr) {
+  const auto a = reinterpret_cast<std::uintptr_t>(addr);
+  const Region* r = find_region(a);
+  if (r == nullptr) return;  // not persistent memory; pwb has no effect
+
+  ThreadPending& tp = tls_pending();
+  const std::uint64_t epoch = crash_epoch_.load(std::memory_order_acquire);
+  if (tp.epoch != epoch) {  // stale pendings from before a crash/reset
+    tp.lines.clear();
+    tp.epoch = epoch;
+  }
+
+  PendingLine pl;
+  pl.line = line_base(a);
+  std::memcpy(pl.data.data(), reinterpret_cast<const void*>(pl.line),
+              kCacheLineSize);
+  tp.lines.push_back(pl);
+}
+
+void SimMemory::publish_line(const Region& r, const PendingLine& pl) {
+  const std::size_t idx = line_index(r.base, pl.line);
+  std::atomic_flag& lock = line_locks_[idx % kLockStripes];
+  while (lock.test_and_set(std::memory_order_acquire)) {
+    // spin; critical section is a 64-byte copy
+  }
+  std::memcpy(r.shadow.get() + idx * kCacheLineSize, pl.data.data(),
+              kCacheLineSize);
+  lock.clear(std::memory_order_release);
+}
+
+void SimMemory::on_pfence() {
+  ThreadPending& tp = tls_pending();
+  const std::uint64_t epoch = crash_epoch_.load(std::memory_order_acquire);
+  if (tp.epoch != epoch) {
+    tp.lines.clear();
+    tp.epoch = epoch;
+    return;
+  }
+  for (const PendingLine& pl : tp.lines) {
+    if (const Region* r = find_region(pl.line)) publish_line(*r, pl);
+  }
+  tp.lines.clear();
+  if (PfenceHook hook = pfence_hook_.load(std::memory_order_acquire)) {
+    hook(pfence_hook_ctx_.load(std::memory_order_acquire));
+  }
+}
+
+std::vector<std::byte> SimMemory::clone_shadow(std::size_t idx) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (idx >= regions_.size()) return {};
+  const Region& r = regions_[idx];
+  return std::vector<std::byte>(r.shadow.get(), r.shadow.get() + r.len);
+}
+
+std::vector<std::byte> SimMemory::clone_volatile(std::size_t idx) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (idx >= regions_.size()) return {};
+  const Region& r = regions_[idx];
+  const auto* p = reinterpret_cast<const std::byte*>(r.base);
+  return std::vector<std::byte>(p, p + r.len);
+}
+
+void SimMemory::overwrite_volatile(const std::vector<std::byte>& image,
+                                   std::size_t idx) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (idx >= regions_.size()) return;
+  Region& r = regions_[idx];
+  const std::size_t n = image.size() < r.len ? image.size() : r.len;
+  std::memcpy(reinterpret_cast<void*>(r.base), image.data(), n);
+  crash_epoch_.fetch_add(1, std::memory_order_acq_rel);  // drop pendings
+}
+
+void SimMemory::set_pfence_hook(PfenceHook hook, void* ctx) noexcept {
+  pfence_hook_ctx_.store(ctx, std::memory_order_release);
+  pfence_hook_.store(hook, std::memory_order_release);
+}
+
+void SimMemory::crash() {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (Region& r : regions_) {
+    std::memcpy(reinterpret_cast<void*>(r.base), r.shadow.get(), r.len);
+  }
+  crash_epoch_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+void SimMemory::persist_all() {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (Region& r : regions_) {
+    std::memcpy(r.shadow.get(), reinterpret_cast<const void*>(r.base), r.len);
+  }
+  crash_epoch_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+std::vector<std::byte> SimMemory::persisted_line(const void* addr) const {
+  const auto a = reinterpret_cast<std::uintptr_t>(addr);
+  const Region* r = find_region(a);
+  if (r == nullptr) return {};
+  const std::size_t idx = line_index(r->base, line_base(a));
+  std::vector<std::byte> out(kCacheLineSize);
+  std::memcpy(out.data(), r->shadow.get() + idx * kCacheLineSize,
+              kCacheLineSize);
+  return out;
+}
+
+bool SimMemory::line_pending_here(const void* addr) const {
+  const ThreadPending& tp = tls_pending();
+  if (tp.epoch != crash_epoch_.load(std::memory_order_acquire)) return false;
+  const std::uintptr_t lb = line_base(reinterpret_cast<std::uintptr_t>(addr));
+  for (const PendingLine& pl : tp.lines) {
+    if (pl.line == lb) return true;
+  }
+  return false;
+}
+
+}  // namespace flit::pmem

@@ -1,0 +1,104 @@
+// stats.hpp — per-thread persistence-instruction statistics.
+//
+// Figure 9 of the paper reports the number of pwb instructions executed per
+// operation for each FliT implementation. To regenerate it we count every
+// pwb and pfence issued through the backend. Counters are plain (non-atomic)
+// thread-local integers — a single predictable increment on the hot path —
+// and are aggregated on demand under a registry mutex.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace flit::pmem {
+
+/// Snapshot of persistence-instruction counts (one thread or an aggregate).
+struct StatsSnapshot {
+  std::uint64_t pwbs = 0;     ///< pwb (cache-line write-back) instructions.
+  std::uint64_t pfences = 0;  ///< pfence (persist fence) instructions.
+
+  StatsSnapshot& operator+=(const StatsSnapshot& o) noexcept {
+    pwbs += o.pwbs;
+    pfences += o.pfences;
+    return *this;
+  }
+  friend StatsSnapshot operator-(StatsSnapshot a,
+                                 const StatsSnapshot& b) noexcept {
+    a.pwbs -= b.pwbs;
+    a.pfences -= b.pfences;
+    return a;
+  }
+};
+
+namespace detail {
+
+struct ThreadStats {
+  std::uint64_t pwbs = 0;
+  std::uint64_t pfences = 0;
+};
+
+/// Registry of every thread's counter block. Thread-local blocks are
+/// heap-allocated and intentionally leaked (never freed) so aggregation can
+/// safely read blocks of exited threads; the count is bounded by the number
+/// of distinct threads over the process lifetime.
+class StatsRegistry {
+ public:
+  static StatsRegistry& instance() {
+    static StatsRegistry r;
+    return r;
+  }
+
+  ThreadStats* register_thread() {
+    auto* ts = new ThreadStats();
+    std::lock_guard<std::mutex> lk(mu_);
+    blocks_.push_back(ts);
+    return ts;
+  }
+
+  StatsSnapshot aggregate() const {
+    StatsSnapshot s;
+    std::lock_guard<std::mutex> lk(mu_);
+    for (const ThreadStats* ts : blocks_) {
+      s.pwbs += ts->pwbs;
+      s.pfences += ts->pfences;
+    }
+    return s;
+  }
+
+  /// Zero every thread's counters. Only call while no other thread is
+  /// issuing persistence instructions (e.g. between benchmark phases).
+  void reset() {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (ThreadStats* ts : blocks_) {
+      ts->pwbs = 0;
+      ts->pfences = 0;
+    }
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<ThreadStats*> blocks_;
+};
+
+inline ThreadStats& tls_stats() {
+  static thread_local ThreadStats* ts =
+      StatsRegistry::instance().register_thread();
+  return *ts;
+}
+
+}  // namespace detail
+
+/// Record one pwb / one pfence (called by the backend on every instruction).
+inline void count_pwb() noexcept { ++detail::tls_stats().pwbs; }
+inline void count_pfence() noexcept { ++detail::tls_stats().pfences; }
+
+/// Aggregate counts across all threads that ever issued an instruction.
+inline StatsSnapshot stats_snapshot() {
+  return detail::StatsRegistry::instance().aggregate();
+}
+
+/// Reset all counters to zero (quiescent callers only).
+inline void stats_reset() { detail::StatsRegistry::instance().reset(); }
+
+}  // namespace flit::pmem

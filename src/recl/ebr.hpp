@@ -1,0 +1,138 @@
+// ebr.hpp — epoch-based memory reclamation for the lock-free structures.
+//
+// The paper's data structures (Harris list, Natarajan BST, skiplist, hash
+// table) unlink nodes that concurrent traversals may still be reading, so
+// they need a safe-memory-reclamation substrate. We implement classic
+// 3-epoch EBR:
+//
+//   * a global epoch counter;
+//   * each thread announces the epoch it read when it enters an operation
+//     (Guard) and announces "idle" when it leaves;
+//   * retired nodes go into the retiring thread's limbo bucket for the
+//     current epoch; a bucket is recycled when the global epoch has moved
+//     two steps past it (no active guard can still reach its nodes);
+//   * the epoch advances when every active thread has announced the
+//     current epoch.
+//
+// Crash tests disable reclamation (`set_reclaim(false)`) so that a
+// simulated power failure never races with node reuse; the paper's own
+// evaluation likewise sidesteps persistent allocator recovery (libvmmalloc
+// is not crash-consistent).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace flit::recl {
+
+/// Returns a block of `size` bytes to the persistent pool (defined in
+/// ebr.cpp; kept out of line so this header needn't include pool.hpp).
+void ebr_pmem_free(void* p, std::size_t size);
+
+class Ebr {
+ public:
+  static constexpr std::size_t kMaxThreads = 256;
+  /// Try to advance the epoch / recycle limbo every this many retires.
+  static constexpr std::size_t kScanThreshold = 64;
+
+  static Ebr& instance();
+
+  Ebr(const Ebr&) = delete;
+  Ebr& operator=(const Ebr&) = delete;
+
+  /// RAII epoch pin. Every data-structure operation must hold one for its
+  /// whole duration. Re-entrant (nested guards are counted).
+  class Guard {
+   public:
+    Guard() { Ebr::instance().enter(); }
+    ~Guard() { Ebr::instance().leave(); }
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+  };
+
+  /// Retire a node for deferred deletion via `deleter(p)`.
+  void retire(void* p, void (*deleter)(void*));
+
+  /// Typed convenience over pmem::pdelete.
+  template <class T>
+  void retire_pmem(T* p);
+
+  /// Globally enable/disable reclamation. When disabled, retire() leaks —
+  /// used by crash tests. Switch only while quiescent.
+  void set_reclaim(bool enabled) noexcept {
+    reclaim_.store(enabled, std::memory_order_relaxed);
+  }
+  bool reclaim_enabled() const noexcept {
+    return reclaim_.load(std::memory_order_relaxed);
+  }
+
+  /// Free every limbo node unconditionally. Caller must guarantee no
+  /// concurrent operations (test/bench teardown between phases).
+  void drain_all();
+
+  std::uint64_t epoch() const noexcept {
+    return global_epoch_.load(std::memory_order_acquire);
+  }
+  /// Nodes currently awaiting reclamation across all threads (approximate).
+  std::size_t limbo_size() const noexcept {
+    return limbo_count_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  Ebr() = default;
+
+  static constexpr std::uint64_t kIdle = ~std::uint64_t{0};
+
+  struct alignas(64) Slot {
+    std::atomic<std::uint64_t> announce{kIdle};
+    std::atomic<bool> used{false};
+  };
+
+  struct Retired {
+    void* p;
+    void (*deleter)(void*);
+  };
+
+  struct Bucket {
+    std::uint64_t epoch = 0;  // epoch in which these nodes were retired
+    std::vector<Retired> nodes;
+  };
+
+  struct ThreadState {
+    int slot = -1;
+    int guard_depth = 0;
+    std::size_t since_scan = 0;
+    Bucket buckets[3];
+    Ebr* owner = nullptr;
+    ~ThreadState();  // hands buckets to the orphan list, frees the slot
+  };
+
+  ThreadState& tls();
+  int acquire_slot();
+  void enter();
+  void leave();
+  void scan(ThreadState& ts);
+  void free_bucket(Bucket& b);
+  void adopt_orphans(std::uint64_t safe_epoch);
+
+  std::atomic<std::uint64_t> global_epoch_{2};
+  std::atomic<bool> reclaim_{true};
+  std::atomic<std::size_t> limbo_count_{0};
+  Slot slots_[kMaxThreads];
+
+  std::mutex orphan_mu_;
+  std::vector<Bucket> orphans_;
+};
+
+template <class T>
+void Ebr::retire_pmem(T* p) {
+  retire(p, [](void* q) {
+    static_cast<T*>(q)->~T();
+    ebr_pmem_free(q, sizeof(T));
+  });
+}
+
+}  // namespace flit::recl

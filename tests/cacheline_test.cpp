@@ -1,0 +1,53 @@
+// Unit tests for cache-line geometry helpers.
+#include "pmem/cacheline.hpp"
+
+#include <gtest/gtest.h>
+
+namespace flit::pmem {
+namespace {
+
+TEST(Cacheline, LineBaseAlignsDown) {
+  EXPECT_EQ(line_base(std::uintptr_t{0}), 0u);
+  EXPECT_EQ(line_base(std::uintptr_t{1}), 0u);
+  EXPECT_EQ(line_base(std::uintptr_t{63}), 0u);
+  EXPECT_EQ(line_base(std::uintptr_t{64}), 64u);
+  EXPECT_EQ(line_base(std::uintptr_t{127}), 64u);
+  EXPECT_EQ(line_base(std::uintptr_t{0x12345678}),
+            std::uintptr_t{0x12345678} & ~std::uintptr_t{63});
+}
+
+TEST(Cacheline, LineBasePointerOverloadMatches) {
+  int x = 0;
+  const void* lb = line_base(static_cast<const void*>(&x));
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(lb),
+            line_base(reinterpret_cast<std::uintptr_t>(&x)));
+  EXPECT_LE(reinterpret_cast<std::uintptr_t>(lb),
+            reinterpret_cast<std::uintptr_t>(&x));
+}
+
+TEST(Cacheline, LineIndex) {
+  EXPECT_EQ(line_index(0, 0), 0u);
+  EXPECT_EQ(line_index(0, 63), 0u);
+  EXPECT_EQ(line_index(0, 64), 1u);
+  EXPECT_EQ(line_index(128, 128 + 640), 10u);
+}
+
+TEST(Cacheline, LinesSpanned) {
+  EXPECT_EQ(lines_spanned(0, 0), 0u);
+  EXPECT_EQ(lines_spanned(0, 1), 1u);
+  EXPECT_EQ(lines_spanned(0, 64), 1u);
+  EXPECT_EQ(lines_spanned(0, 65), 2u);
+  EXPECT_EQ(lines_spanned(63, 2), 2u);   // straddles a boundary
+  EXPECT_EQ(lines_spanned(60, 8), 2u);
+  EXPECT_EQ(lines_spanned(64, 128), 2u);
+}
+
+TEST(Cacheline, RoundUpToLine) {
+  EXPECT_EQ(round_up_to_line(0), 0u);
+  EXPECT_EQ(round_up_to_line(1), 64u);
+  EXPECT_EQ(round_up_to_line(64), 64u);
+  EXPECT_EQ(round_up_to_line(65), 128u);
+}
+
+}  // namespace
+}  // namespace flit::pmem

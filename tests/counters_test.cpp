@@ -1,0 +1,145 @@
+// Unit + property tests for flit-counter placement policies (§5.1).
+#include "core/counters.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "support/test_common.hpp"
+
+namespace flit {
+namespace {
+
+class CounterTableTest : public flit::test::PmemTest {
+ protected:
+  void SetUp() override {
+    PmemTest::SetUp();
+    HashedCounterTable::instance().configure(
+        HashedCounterTable::kDefaultSlots, 1);
+  }
+};
+
+TEST_F(CounterTableTest, ConfigureRoundsToPowerOfTwo) {
+  auto& t = HashedCounterTable::instance();
+  t.configure(1000, 1);
+  EXPECT_EQ(t.slots(), 1024u);
+  EXPECT_EQ(t.footprint_bytes(), 1024u);
+  t.configure(4096, 1);
+  EXPECT_EQ(t.slots(), 4096u);
+}
+
+TEST_F(CounterTableTest, StrideMultipliesFootprint) {
+  auto& t = HashedCounterTable::instance();
+  t.configure(1024, 8);  // unpacked: one counter per 8 bytes
+  EXPECT_EQ(t.footprint_bytes(), 8192u);
+  t.configure(1024, 64);  // one counter per cache line of the table
+  EXPECT_EQ(t.footprint_bytes(), 64u * 1024u);
+}
+
+TEST_F(CounterTableTest, TagUntagBalance) {
+  auto& t = HashedCounterTable::instance();
+  int x = 0;
+  EXPECT_FALSE(t.tagged(&x, 0));
+  t.tag(&x, 0);
+  EXPECT_TRUE(t.tagged(&x, 0));
+  t.tag(&x, 0);
+  EXPECT_TRUE(t.tagged(&x, 0));
+  t.untag(&x, 0);
+  EXPECT_TRUE(t.tagged(&x, 0));  // one pending store remains
+  t.untag(&x, 0);
+  EXPECT_FALSE(t.tagged(&x, 0));
+  EXPECT_TRUE(t.all_zero());
+}
+
+TEST_F(CounterTableTest, GranularityShiftSharesLineCounters) {
+  auto& t = HashedCounterTable::instance();
+  alignas(64) std::uint64_t line[8] = {};
+  // With gran_shift=6 every word on the line maps to the same counter.
+  t.tag(&line[0], 6);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_TRUE(t.tagged(&line[i], 6)) << "word " << i;
+  }
+  t.untag(&line[3], 6);  // any word on the line may untag
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_FALSE(t.tagged(&line[i], 6));
+  }
+}
+
+TEST_F(CounterTableTest, WordGranularityDistinguishesNeighbors) {
+  auto& t = HashedCounterTable::instance();
+  alignas(64) std::uint64_t line[8] = {};
+  t.tag(&line[0], 0);
+  EXPECT_TRUE(t.tagged(&line[0], 0));
+  // Neighboring words should (with a 1M-slot table) not collide.
+  int collisions = 0;
+  for (int i = 1; i < 8; ++i) {
+    if (t.tagged(&line[i], 0)) ++collisions;
+  }
+  EXPECT_EQ(collisions, 0);
+  t.untag(&line[0], 0);
+}
+
+TEST_F(CounterTableTest, TinyTableForcesCollisions) {
+  auto& t = HashedCounterTable::instance();
+  t.configure(64, 1);  // 64 counters: collisions guaranteed across 1k words
+  std::vector<std::uint64_t> words(1024);
+  t.tag(&words[0], 0);
+  int tagged_others = 0;
+  for (std::size_t i = 1; i < words.size(); ++i) {
+    if (t.tagged(&words[i], 0)) ++tagged_others;
+  }
+  EXPECT_GT(tagged_others, 0)
+      << "a 64-slot table must alias some of 1024 distinct words";
+  t.untag(&words[0], 0);
+  EXPECT_TRUE(t.all_zero());
+}
+
+TEST_F(CounterTableTest, ConcurrentTagUntagNeverUnderflows) {
+  auto& t = HashedCounterTable::instance();
+  constexpr int kThreads = 8;
+  constexpr int kIters = 20'000;
+  std::uint64_t shared_word = 0;
+  std::vector<std::thread> ts;
+  for (int i = 0; i < kThreads; ++i) {
+    ts.emplace_back([&t, &shared_word] {
+      for (int j = 0; j < kIters; ++j) {
+        t.tag(&shared_word, 0);
+        t.untag(&shared_word, 0);
+      }
+    });
+  }
+  for (auto& th : ts) th.join();
+  // Lemma 5.1: the balance after all p-stores terminate is exactly 0.
+  EXPECT_FALSE(t.tagged(&shared_word, 0));
+  EXPECT_TRUE(t.all_zero());
+}
+
+TEST_F(CounterTableTest, PolicyWrappersRouteToTheTable) {
+  auto& t = HashedCounterTable::instance();
+  std::uint64_t w = 0;
+  HashedPolicy::tag(&w);
+  EXPECT_TRUE(HashedPolicy::tagged(&w));
+  EXPECT_TRUE(t.tagged(&w, 0));
+  HashedPolicy::untag(&w);
+  EXPECT_FALSE(HashedPolicy::tagged(&w));
+
+  alignas(64) std::uint64_t line[8] = {};
+  PerLinePolicy::tag(&line[0]);
+  EXPECT_TRUE(PerLinePolicy::tagged(&line[7]))
+      << "per-line policy shares the tag across the data line";
+  PerLinePolicy::untag(&line[0]);
+  EXPECT_FALSE(PerLinePolicy::tagged(&line[7]));
+}
+
+TEST(PolicyKinds, AreDistinct) {
+  EXPECT_EQ(AdjacentPolicy::kind, CounterKind::kAdjacent);
+  EXPECT_EQ(HashedPolicy::kind, CounterKind::kExternal);
+  EXPECT_EQ(PerLinePolicy::kind, CounterKind::kExternal);
+  EXPECT_EQ(PlainPolicy::kind, CounterKind::kPlain);
+  EXPECT_EQ(VolatilePolicy::kind, CounterKind::kVolatile);
+  EXPECT_STRNE(AdjacentPolicy::name, HashedPolicy::name);
+}
+
+}  // namespace
+}  // namespace flit

@@ -1,0 +1,193 @@
+// Unit + concurrency + crash tests for the durable queue (Friedman-style).
+#include "ds/durable_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "support/test_common.hpp"
+
+namespace flit::ds {
+namespace {
+
+using flit::test::PmemTest;
+using Queue = DurableQueue<std::int64_t, HashedWords>;
+
+class DurableQueueTest : public PmemTest {};
+
+TEST_F(DurableQueueTest, EmptyDequeueReturnsNothing) {
+  Queue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(q.dequeue(0).has_value());
+}
+
+TEST_F(DurableQueueTest, FifoOrder) {
+  Queue q;
+  for (std::int64_t i = 0; i < 100; ++i) q.enqueue(i);
+  EXPECT_FALSE(q.empty());
+  for (std::int64_t i = 0; i < 100; ++i) {
+    auto v = q.dequeue(0);
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+TEST_F(DurableQueueTest, InterleavedEnqueueDequeue) {
+  Queue q;
+  q.enqueue(1);
+  q.enqueue(2);
+  EXPECT_EQ(q.dequeue(0).value(), 1);
+  q.enqueue(3);
+  EXPECT_EQ(q.dequeue(0).value(), 2);
+  EXPECT_EQ(q.dequeue(0).value(), 3);
+  EXPECT_FALSE(q.dequeue(0).has_value());
+}
+
+TEST_F(DurableQueueTest, ConcurrentProducersConsumers) {
+  Queue q;
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr std::int64_t kPerProducer = 5'000;
+  std::atomic<std::int64_t> consumed_sum{0};
+  std::atomic<std::int64_t> consumed_count{0};
+  std::atomic<bool> done_producing{false};
+
+  std::vector<std::thread> ts;
+  for (int p = 0; p < kProducers; ++p) {
+    ts.emplace_back([&q, p] {
+      for (std::int64_t i = 0; i < kPerProducer; ++i) {
+        q.enqueue(p * kPerProducer + i);
+      }
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    ts.emplace_back([&, c] {
+      for (;;) {
+        auto v = q.dequeue(c);
+        if (v.has_value()) {
+          consumed_sum.fetch_add(*v);
+          consumed_count.fetch_add(1);
+        } else if (done_producing.load()) {
+          if (!q.dequeue(c).has_value()) return;
+        }
+      }
+    });
+  }
+  for (int p = 0; p < kProducers; ++p) ts[static_cast<std::size_t>(p)].join();
+  done_producing.store(true);
+  for (int c = 0; c < kConsumers; ++c) {
+    ts[static_cast<std::size_t>(kProducers + c)].join();
+  }
+  const std::int64_t n = kProducers * kPerProducer;
+  EXPECT_EQ(consumed_count.load(), n);
+  EXPECT_EQ(consumed_sum.load(), n * (n - 1) / 2);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST_F(DurableQueueTest, RecoverySeesEnqueuedButNotDequeuedItems) {
+  pmem::Pool::instance().register_with_sim();
+  pmem::BackendScope scope(pmem::Backend::kSimCrash);
+  Queue q;
+  pmem::SimMemory::instance().persist_all();
+
+  for (std::int64_t i = 0; i < 10; ++i) q.enqueue(i);
+  EXPECT_EQ(q.dequeue(1).value(), 0);
+  EXPECT_EQ(q.dequeue(1).value(), 1);
+  EXPECT_EQ(q.dequeue(1).value(), 2);
+
+  pmem::SimMemory::instance().crash();
+  Queue rec = Queue::recover(q.anchor());
+  // Items 3..9 were enqueued (persisted) and never claimed.
+  for (std::int64_t i = 3; i < 10; ++i) {
+    auto v = rec.dequeue(2);
+    ASSERT_TRUE(v.has_value()) << i;
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_FALSE(rec.dequeue(2).has_value());
+}
+
+TEST_F(DurableQueueTest, CrashMidStreamNeverResurrectsClaimedItems) {
+  pmem::Pool::instance().register_with_sim();
+  pmem::BackendScope scope(pmem::Backend::kSimCrash);
+  Queue q;
+  pmem::SimMemory::instance().persist_all();
+
+  for (std::int64_t i = 0; i < 50; ++i) q.enqueue(i);
+  std::vector<std::int64_t> taken;
+  for (int i = 0; i < 20; ++i) taken.push_back(q.dequeue(7).value());
+
+  pmem::SimMemory::instance().crash();
+  Queue rec = Queue::recover(q.anchor());
+  std::vector<std::int64_t> remaining;
+  while (auto v = rec.dequeue(8)) remaining.push_back(*v);
+
+  // No claimed item may reappear, and nothing may be lost: the claimed set
+  // and the recovered set partition [0, 50).
+  std::vector<std::int64_t> all = taken;
+  all.insert(all.end(), remaining.begin(), remaining.end());
+  std::sort(all.begin(), all.end());
+  ASSERT_EQ(all.size(), 50u);
+  for (std::int64_t i = 0; i < 50; ++i) EXPECT_EQ(all[static_cast<std::size_t>(i)], i);
+}
+
+// --- detectability (paper §7) -----------------------------------------------
+
+TEST_F(DurableQueueTest, EnqueueDetectabilityAfterCrash) {
+  pmem::Pool::instance().register_with_sim();
+  pmem::BackendScope scope(pmem::Backend::kSimCrash);
+  Queue q;
+  pmem::SimMemory::instance().persist_all();
+
+  // Thread 3 performs enqueue ops with sequence numbers 0..4.
+  for (std::int64_t seq = 0; seq < 5; ++seq) {
+    q.enqueue_tagged(100 + seq, /*tid=*/3, seq);
+  }
+  pmem::SimMemory::instance().crash();
+
+  // After recovery thread 3 can detect exactly which of its ops completed.
+  for (std::int64_t seq = 0; seq < 5; ++seq) {
+    EXPECT_TRUE(Queue::was_enqueued(q.anchor(), 3, seq)) << seq;
+  }
+  EXPECT_FALSE(Queue::was_enqueued(q.anchor(), 3, 5));   // never attempted
+  EXPECT_FALSE(Queue::was_enqueued(q.anchor(), 4, 0));   // other thread
+}
+
+TEST_F(DurableQueueTest, DequeueDetectabilityAfterCrash) {
+  pmem::Pool::instance().register_with_sim();
+  pmem::BackendScope scope(pmem::Backend::kSimCrash);
+  Queue q;
+  pmem::SimMemory::instance().persist_all();
+
+  for (std::int64_t i = 0; i < 6; ++i) q.enqueue_tagged(10 * i, 1, i);
+  // Thread 2 dequeues with sequence numbers 0 and 1.
+  const auto v0 = q.dequeue(Queue::pack_claim(2, 0));
+  const auto v1 = q.dequeue(Queue::pack_claim(2, 1));
+  ASSERT_TRUE(v0 && v1);
+
+  pmem::SimMemory::instance().crash();
+  // Recovery: thread 2's claims are recoverable with their values...
+  EXPECT_EQ(Queue::claimed_value(q.anchor(), 2, 0), v0);
+  EXPECT_EQ(Queue::claimed_value(q.anchor(), 2, 1), v1);
+  // ...and an op it never performed is provably absent.
+  EXPECT_FALSE(Queue::claimed_value(q.anchor(), 2, 2).has_value());
+
+  // The remaining items are exactly the unclaimed ones.
+  Queue rec = Queue::recover(q.anchor());
+  std::vector<std::int64_t> rest;
+  while (auto v = rec.dequeue(Queue::pack_claim(3, 0))) rest.push_back(*v);
+  EXPECT_EQ(rest.size(), 4u);
+}
+
+TEST_F(DurableQueueTest, PackClaimRoundTrips) {
+  const std::int64_t token = Queue::pack_claim(37, 123456);
+  EXPECT_EQ(Queue::claim_tid(token), 37);
+  EXPECT_EQ(Queue::claim_seq(token), 123456);
+  EXPECT_NE(token, Queue::kUnclaimed);
+}
+
+}  // namespace
+}  // namespace flit::ds

@@ -1,0 +1,168 @@
+// Unit + stress tests for epoch-based reclamation.
+#include "recl/ebr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "pmem/pool.hpp"
+#include "support/test_common.hpp"
+
+namespace flit::recl {
+namespace {
+
+using flit::test::PmemTest;
+
+std::atomic<int> g_freed{0};
+
+void counting_deleter(void* p) {
+  g_freed.fetch_add(1);
+  ::operator delete(p);
+}
+
+class EbrTest : public PmemTest {
+ protected:
+  void SetUp() override {
+    PmemTest::SetUp();
+    g_freed.store(0);
+  }
+};
+
+TEST_F(EbrTest, RetireDoesNotFreeImmediately) {
+  void* p = ::operator new(16);
+  Ebr::instance().retire(p, &counting_deleter);
+  EXPECT_EQ(g_freed.load(), 0);
+  EXPECT_GE(Ebr::instance().limbo_size(), 1u);
+  Ebr::instance().drain_all();
+  EXPECT_EQ(g_freed.load(), 1);
+}
+
+TEST_F(EbrTest, DrainAllFreesEverything) {
+  for (int i = 0; i < 100; ++i) {
+    Ebr::instance().retire(::operator new(8), &counting_deleter);
+  }
+  Ebr::instance().drain_all();
+  EXPECT_EQ(g_freed.load(), 100);
+  EXPECT_EQ(Ebr::instance().limbo_size(), 0u);
+}
+
+TEST_F(EbrTest, DisabledReclaimLeaks) {
+  Ebr::instance().set_reclaim(false);
+  void* p = ::operator new(16);
+  Ebr::instance().retire(p, &counting_deleter);
+  Ebr::instance().drain_all();
+  EXPECT_EQ(g_freed.load(), 0) << "crash-test mode must never free";
+  Ebr::instance().set_reclaim(true);
+  ::operator delete(p);  // avoid the leak in the test binary
+}
+
+TEST_F(EbrTest, GuardsAreReentrant) {
+  Ebr::Guard a;
+  {
+    Ebr::Guard b;
+    {
+      Ebr::Guard c;
+    }
+  }
+  SUCCEED();
+}
+
+TEST_F(EbrTest, EpochAdvancesWhenAllThreadsQuiescent) {
+  const std::uint64_t e0 = Ebr::instance().epoch();
+  // Retiring kScanThreshold nodes triggers a scan; with no active guards
+  // the epoch must advance.
+  for (std::size_t i = 0; i <= Ebr::kScanThreshold; ++i) {
+    Ebr::instance().retire(::operator new(8), &counting_deleter);
+  }
+  EXPECT_GT(Ebr::instance().epoch(), e0);
+  Ebr::instance().drain_all();
+}
+
+TEST_F(EbrTest, ActiveGuardBlocksEpochAdvance) {
+  std::atomic<bool> stop{false};
+  std::atomic<bool> pinned{false};
+  std::thread holder([&] {
+    Ebr::Guard g;
+    pinned.store(true);
+    while (!stop.load()) std::this_thread::yield();
+  });
+  while (!pinned.load()) std::this_thread::yield();
+
+  const std::uint64_t e0 = Ebr::instance().epoch();
+  for (std::size_t i = 0; i <= 4 * Ebr::kScanThreshold; ++i) {
+    Ebr::instance().retire(::operator new(8), &counting_deleter);
+  }
+  // One epoch step can still happen (holder may have announced the current
+  // epoch), but it cannot advance twice while the guard is held.
+  EXPECT_LE(Ebr::instance().epoch(), e0 + 1);
+  stop.store(true);
+  holder.join();
+  Ebr::instance().drain_all();
+}
+
+TEST_F(EbrTest, NodeRetiredUnderGuardIsNotFreedWhileGuardLive) {
+  // Retire from a second thread while this thread holds a guard: the node
+  // must survive any number of retire-triggered scans.
+  Ebr::Guard g;
+  std::thread t([] {
+    void* victim = ::operator new(16);
+    Ebr::instance().retire(victim, &counting_deleter);
+    for (std::size_t i = 0; i <= 4 * Ebr::kScanThreshold; ++i) {
+      Ebr::instance().retire(::operator new(8), &counting_deleter);
+    }
+  });
+  t.join();
+  // The guard held by this thread pins the epoch to within one step of the
+  // victim's retire epoch, so the victim cannot have been freed... unless
+  // this thread never announced. Hold the guard and check: at most the
+  // nodes retired in already-safe epochs were freed; the total cannot reach
+  // everything retired (4*threshold+2) while we pin.
+  EXPECT_LT(g_freed.load(), 4 * static_cast<int>(Ebr::kScanThreshold) + 2);
+}
+
+TEST_F(EbrTest, ExitedThreadsBucketsAreAdopted) {
+  std::thread t([] {
+    for (int i = 0; i < 10; ++i) {
+      Ebr::instance().retire(::operator new(8), &counting_deleter);
+    }
+  });
+  t.join();
+  Ebr::instance().drain_all();
+  EXPECT_EQ(g_freed.load(), 10) << "orphaned buckets must still be freed";
+}
+
+TEST_F(EbrTest, StressManyThreadsRetireAndFree) {
+  constexpr int kThreads = 8;
+  constexpr int kIters = 5'000;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([] {
+      for (int i = 0; i < kIters; ++i) {
+        Ebr::Guard g;
+        Ebr::instance().retire(::operator new(16), &counting_deleter);
+      }
+    });
+  }
+  for (auto& th : ts) th.join();
+  Ebr::instance().drain_all();
+  EXPECT_EQ(g_freed.load(), kThreads * kIters);
+}
+
+TEST_F(EbrTest, RetirePmemReturnsMemoryToPool) {
+  struct Obj {
+    std::uint64_t x;
+  };
+  Obj* o = pmem::pnew<Obj>(Obj{7});
+  Ebr::instance().retire_pmem(o);
+  Ebr::instance().drain_all();
+  // The block goes back to this thread's free list; the next same-size
+  // pool allocation reuses it.
+  Obj* o2 = pmem::pnew<Obj>(Obj{8});
+  EXPECT_EQ(o, o2);
+  pmem::pdelete(o2);
+}
+
+}  // namespace
+}  // namespace flit::recl

@@ -1,0 +1,184 @@
+// Unit + concurrency tests for the Harris linked list.
+#include "ds/harris_list.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "support/test_common.hpp"
+
+namespace flit::ds {
+namespace {
+
+using flit::test::PmemTest;
+using List = HarrisList<std::int64_t, std::int64_t, HashedWords, Automatic>;
+
+class HarrisListTest : public PmemTest {};
+
+TEST_F(HarrisListTest, EmptyListContainsNothing) {
+  List l;
+  EXPECT_FALSE(l.contains(0));
+  EXPECT_FALSE(l.contains(42));
+  EXPECT_EQ(l.size(), 0u);
+}
+
+TEST_F(HarrisListTest, InsertThenContains) {
+  List l;
+  EXPECT_TRUE(l.insert(5, 50));
+  EXPECT_TRUE(l.contains(5));
+  EXPECT_FALSE(l.contains(4));
+  EXPECT_EQ(l.size(), 1u);
+}
+
+TEST_F(HarrisListTest, DuplicateInsertFails) {
+  List l;
+  EXPECT_TRUE(l.insert(5, 50));
+  EXPECT_FALSE(l.insert(5, 51));
+  EXPECT_EQ(l.find(5).value(), 50);
+}
+
+TEST_F(HarrisListTest, RemovePresentAndAbsent) {
+  List l;
+  EXPECT_TRUE(l.insert(1, 10));
+  EXPECT_TRUE(l.remove(1));
+  EXPECT_FALSE(l.remove(1));
+  EXPECT_FALSE(l.contains(1));
+}
+
+TEST_F(HarrisListTest, FindReturnsValue) {
+  List l;
+  l.insert(7, 700);
+  EXPECT_EQ(l.find(7).value(), 700);
+  EXPECT_FALSE(l.find(8).has_value());
+}
+
+TEST_F(HarrisListTest, OrderedInsertionsAllVisible) {
+  List l;
+  for (std::int64_t k = 0; k < 200; ++k) EXPECT_TRUE(l.insert(k, k * 2));
+  for (std::int64_t k = 0; k < 200; ++k) {
+    EXPECT_TRUE(l.contains(k)) << k;
+    EXPECT_EQ(l.find(k).value(), k * 2);
+  }
+  EXPECT_EQ(l.size(), 200u);
+}
+
+TEST_F(HarrisListTest, ReverseAndShuffledInsertions) {
+  List l;
+  std::vector<std::int64_t> keys;
+  for (std::int64_t k = 199; k >= 0; --k) keys.push_back(k * 3);
+  for (auto k : keys) EXPECT_TRUE(l.insert(k, k));
+  for (auto k : keys) EXPECT_TRUE(l.contains(k));
+  EXPECT_FALSE(l.contains(1));  // not a multiple of 3
+}
+
+TEST_F(HarrisListTest, InterleavedInsertRemove) {
+  List l;
+  for (std::int64_t k = 0; k < 100; ++k) l.insert(k, k);
+  for (std::int64_t k = 0; k < 100; k += 2) EXPECT_TRUE(l.remove(k));
+  for (std::int64_t k = 0; k < 100; ++k) {
+    EXPECT_EQ(l.contains(k), k % 2 == 1) << k;
+  }
+  EXPECT_EQ(l.size(), 50u);
+}
+
+TEST_F(HarrisListTest, SentinelKeysAreReserved) {
+  List l;
+  // Min/max keys back the sentinels; user keys must stay strictly inside.
+  EXPECT_TRUE(l.insert(List::kMinKey + 1, 1));
+  EXPECT_TRUE(l.insert(List::kMaxKey - 1, 2));
+  EXPECT_TRUE(l.contains(List::kMinKey + 1));
+  EXPECT_TRUE(l.contains(List::kMaxKey - 1));
+}
+
+TEST_F(HarrisListTest, ConcurrentDisjointInserts) {
+  List l;
+  constexpr int kThreads = 8;
+  constexpr std::int64_t kPerThread = 500;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&l, t] {
+      for (std::int64_t i = 0; i < kPerThread; ++i) {
+        EXPECT_TRUE(l.insert(t * kPerThread + i, i));
+      }
+    });
+  }
+  for (auto& th : ts) th.join();
+  EXPECT_EQ(l.size(), static_cast<std::size_t>(kThreads * kPerThread));
+  for (std::int64_t k = 0; k < kThreads * kPerThread; ++k) {
+    ASSERT_TRUE(l.contains(k)) << k;
+  }
+}
+
+TEST_F(HarrisListTest, ConcurrentInsertRemoveSameKeysBalances) {
+  List l;
+  constexpr int kPairs = 4;
+  constexpr std::int64_t kRange = 64;
+  constexpr int kIters = 4'000;
+  std::vector<std::thread> ts;
+  std::atomic<std::int64_t> net{0};
+  for (int t = 0; t < 2 * kPairs; ++t) {
+    ts.emplace_back([&l, &net, t] {
+      std::mt19937_64 rng(static_cast<std::uint64_t>(t) + 77);
+      std::int64_t local = 0;
+      for (int i = 0; i < kIters; ++i) {
+        const std::int64_t k =
+            static_cast<std::int64_t>(rng() % kRange);
+        if (t % 2 == 0) {
+          if (l.insert(k, k)) ++local;
+        } else {
+          if (l.remove(k)) --local;
+        }
+      }
+      net.fetch_add(local);
+    });
+  }
+  for (auto& th : ts) th.join();
+  EXPECT_EQ(l.size(), static_cast<std::size_t>(net.load()))
+      << "successful inserts minus removes must equal the final size";
+}
+
+TEST_F(HarrisListTest, ConcurrentMixedWorkloadKeepsKeysInRange) {
+  List l;
+  constexpr int kThreads = 6;
+  constexpr std::int64_t kRange = 128;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&l, t] {
+      std::mt19937_64 rng(static_cast<std::uint64_t>(t) * 13 + 1);
+      for (int i = 0; i < 3'000; ++i) {
+        const std::int64_t k = static_cast<std::int64_t>(rng() % kRange);
+        switch (rng() % 3) {
+          case 0:
+            l.insert(k, k);
+            break;
+          case 1:
+            l.remove(k);
+            break;
+          default:
+            l.contains(k);
+        }
+      }
+    });
+  }
+  for (auto& th : ts) th.join();
+  EXPECT_LE(l.size(), static_cast<std::size_t>(kRange));
+}
+
+TEST_F(HarrisListTest, RecoverHandleSeesSameContent) {
+  List l;
+  for (std::int64_t k = 0; k < 50; ++k) l.insert(k, k + 1000);
+  List view = List::recover(l.head(), l.tail());
+  for (std::int64_t k = 0; k < 50; ++k) {
+    EXPECT_TRUE(view.contains(k));
+    EXPECT_EQ(view.find(k).value(), k + 1000);
+  }
+  EXPECT_EQ(view.size(), 50u);
+  // `view` is non-owning; destroying it must not free nodes (l's dtor will).
+}
+
+}  // namespace
+}  // namespace flit::ds

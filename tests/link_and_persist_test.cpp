@@ -1,0 +1,144 @@
+// Unit tests for the link-and-persist word (the bit-tagging baseline).
+#include "core/link_and_persist.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "support/test_common.hpp"
+
+namespace flit {
+namespace {
+
+using flit::test::PmemTest;
+
+struct Obj {
+  int v;
+};
+
+class LapTest : public PmemTest {};
+
+TEST_F(LapTest, CasInstallsAndClearsDirtyFlag) {
+  Obj a{1}, b{2};
+  lap_word<Obj*> w(&a);
+  Obj* expected = &a;
+  EXPECT_TRUE(w.cas(expected, &b, kPersist));
+  EXPECT_EQ(w.load(), &b);
+  EXPECT_FALSE(w.dirty()) << "writer clears its flag after pwb+pfence";
+}
+
+TEST_F(LapTest, FailedCasReportsLogicalValue) {
+  Obj a{1}, b{2}, c{3};
+  lap_word<Obj*> w(&a);
+  Obj* expected = &b;  // stale
+  EXPECT_FALSE(w.cas(expected, &c, kPersist));
+  EXPECT_EQ(expected, &a);
+  EXPECT_EQ(w.load(), &a);
+}
+
+TEST_F(LapTest, VolatileCasLeavesNoFlag) {
+  Obj a{1}, b{2};
+  lap_word<Obj*> w(&a);
+  Obj* expected = &a;
+  const auto before = pmem::stats_snapshot();
+  EXPECT_TRUE(w.cas(expected, &b, kVolatile));
+  EXPECT_FALSE(w.dirty());
+  const auto d = pmem::stats_snapshot() - before;
+  EXPECT_EQ(d.pwbs, 0u);
+}
+
+TEST_F(LapTest, PCasFlushesExactlyOnce) {
+  Obj a{1}, b{2};
+  lap_word<Obj*> w(&a);
+  Obj* expected = &a;
+  const auto before = pmem::stats_snapshot();
+  EXPECT_TRUE(w.cas(expected, &b, kPersist));
+  const auto d = pmem::stats_snapshot() - before;
+  EXPECT_EQ(d.pwbs, 1u);
+}
+
+TEST_F(LapTest, CleanReadSkipsFlush) {
+  Obj a{1};
+  lap_word<Obj*> w(&a);
+  const auto before = pmem::stats_snapshot();
+  for (int i = 0; i < 100; ++i) (void)w.load(kPersist);
+  const auto d = pmem::stats_snapshot() - before;
+  EXPECT_EQ(d.pwbs, 0u);
+}
+
+TEST_F(LapTest, MarkBitZeroSurvivesRoundTrip) {
+  // The data structure's Harris mark (bit 0) must pass through untouched.
+  Obj a{1}, b{2};
+  auto* marked_b =
+      reinterpret_cast<Obj*>(reinterpret_cast<std::uintptr_t>(&b) | 1);
+  lap_word<Obj*> w(&a);
+  Obj* expected = &a;
+  EXPECT_TRUE(w.cas(expected, marked_b, kPersist));
+  EXPECT_EQ(w.load(), marked_b) << "bit 0 belongs to the DS, not to LaP";
+  EXPECT_FALSE(w.dirty());
+}
+
+TEST_F(LapTest, PrivateStoreRoundTrip) {
+  Obj a{1};
+  lap_word<Obj*> w;
+  w.store_private(&a, kPersist);
+  EXPECT_EQ(w.load_private(), &a);
+  EXPECT_EQ(w.load(), &a);
+}
+
+TEST_F(LapTest, ConcurrentCasChainsLikeAtomic) {
+  // N threads each install their own node expecting the previous one; the
+  // final chain length equals the number of successful CASes.
+  constexpr int kThreads = 8;
+  constexpr int kIters = 2'000;
+  static Obj nodes[kThreads];
+  lap_word<Obj*> w(nullptr);
+  std::atomic<int> successes{0};
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&w, &successes, t] {
+      for (int i = 0; i < kIters; ++i) {
+        Obj* cur = w.load(kPersist);
+        Obj* mine = &nodes[t];
+        if (cur != mine && w.cas(cur, mine, kPersist)) {
+          successes.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& th : ts) th.join();
+  EXPECT_GT(successes.load(), 0);
+  EXPECT_FALSE(w.dirty()) << "all flags cleared once all stores finish";
+  Obj* final_val = w.load();
+  bool is_one_of_ours = false;
+  for (auto& n : nodes) is_one_of_ours |= (final_val == &n);
+  EXPECT_TRUE(is_one_of_ours);
+}
+
+TEST_F(LapTest, ReaderFlushesDirtyWord) {
+  pmem::BackendScope scope(pmem::Backend::kSimCrash);
+  alignas(64) static struct {
+    lap_word<Obj*> w;
+  } region;
+  static Obj a{1};
+  pmem::SimMemory::instance().register_region(&region, sizeof(region));
+
+  // Writer installs a value but "stalls" before clearing: emulate by
+  // writing the dirty word via a volatile CAS then manually tagging.
+  // Simpler: a p-CAS from another thread, whose flush lands in ITS pending
+  // set; our reader must still be able to persist the value itself.
+  std::thread writer([&] {
+    Obj* e = nullptr;
+    region.w.cas(e, &a, kPersist);
+  });
+  writer.join();
+  (void)region.w.load(kPersist);
+  pmem::pfence();
+  pmem::SimMemory::instance().crash();
+  EXPECT_EQ(region.w.load_private(), &a);
+}
+
+}  // namespace
+}  // namespace flit

@@ -1,0 +1,155 @@
+// Unit + stress tests for the persistent pool allocator.
+#include "pmem/pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <random>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "support/test_common.hpp"
+
+namespace flit::pmem {
+namespace {
+
+class PoolTest : public flit::test::PmemTest {};
+
+TEST_F(PoolTest, AllocationsAreInsideTheRegion) {
+  Pool& p = Pool::instance();
+  for (std::size_t sz : {1u, 8u, 16u, 24u, 64u, 100u, 1024u}) {
+    void* q = p.alloc(sz);
+    ASSERT_NE(q, nullptr);
+    EXPECT_TRUE(p.contains(q));
+    std::memset(q, 0xAB, sz);  // must be writable
+  }
+}
+
+TEST_F(PoolTest, AllocationsAreAligned) {
+  Pool& p = Pool::instance();
+  for (int i = 0; i < 100; ++i) {
+    void* q = p.alloc(static_cast<std::size_t>(1 + i % 60));
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(q) % Pool::kGranularity, 0u);
+  }
+}
+
+TEST_F(PoolTest, DistinctLiveAllocationsDoNotOverlap) {
+  Pool& p = Pool::instance();
+  std::vector<std::pair<std::uintptr_t, std::size_t>> blocks;
+  std::mt19937_64 rng(1);
+  for (int i = 0; i < 500; ++i) {
+    const std::size_t sz = 8 + rng() % 120;
+    auto a = reinterpret_cast<std::uintptr_t>(p.alloc(sz));
+    for (const auto& [b, bsz] : blocks) {
+      EXPECT_TRUE(a + sz <= b || b + bsz <= a)
+          << "overlap between allocations";
+    }
+    blocks.emplace_back(a, sz);
+  }
+}
+
+TEST_F(PoolTest, FreedBlockIsReused) {
+  Pool& p = Pool::instance();
+  void* a = p.alloc(48);
+  p.dealloc(a, 48);
+  void* b = p.alloc(48);
+  EXPECT_EQ(a, b) << "same-thread same-class free list should recycle";
+}
+
+TEST_F(PoolTest, LargeAllocationsBypassSizeClasses) {
+  Pool& p = Pool::instance();
+  void* a = p.alloc(4096);
+  ASSERT_NE(a, nullptr);
+  EXPECT_TRUE(p.contains(a));
+  std::memset(a, 0x11, 4096);
+  p.dealloc(a, 4096);  // no-op, must not crash
+}
+
+TEST_F(PoolTest, PnewPdeleteRoundTrip) {
+  struct Obj {
+    std::uint64_t a, b;
+  };
+  Obj* o = pnew<Obj>(Obj{1, 2});
+  ASSERT_NE(o, nullptr);
+  EXPECT_EQ(o->a, 1u);
+  EXPECT_EQ(o->b, 2u);
+  EXPECT_TRUE(Pool::instance().contains(o));
+  pdelete(o);
+}
+
+TEST_F(PoolTest, ExhaustionThrowsBadAlloc) {
+  Pool::instance().reinit(1 << 20);  // 1 MiB
+  EXPECT_THROW(
+      {
+        for (int i = 0; i < 64; ++i) {
+          (void)Pool::instance().alloc(Pool::kChunkSize);
+        }
+      },
+      std::bad_alloc);
+  Pool::instance().reinit(kPoolBytes);
+}
+
+TEST_F(PoolTest, ResetRecyclesTheRegion) {
+  Pool& p = Pool::instance();
+  (void)p.alloc(64);
+  const std::size_t used = p.bump_used();
+  EXPECT_GT(used, 0u);
+  p.reset();
+  EXPECT_EQ(p.bump_used(), 0u);
+  void* q = p.alloc(64);
+  EXPECT_TRUE(p.contains(q));
+}
+
+TEST_F(PoolTest, ConcurrentAllocationsAreDisjoint) {
+  Pool& p = Pool::instance();
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2000;
+  std::vector<std::vector<std::uintptr_t>> ptrs(kThreads);
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&p, &ptrs, t] {
+      std::mt19937_64 rng(static_cast<std::uint64_t>(t));
+      for (int i = 0; i < kPerThread; ++i) {
+        const std::size_t sz = 16 + rng() % 64;
+        auto* q = static_cast<std::uint64_t*>(p.alloc(sz));
+        *q = static_cast<std::uint64_t>(t) << 32 | static_cast<unsigned>(i);
+        ptrs[t].push_back(reinterpret_cast<std::uintptr_t>(q));
+      }
+    });
+  }
+  for (auto& th : ts) th.join();
+  std::unordered_set<std::uintptr_t> seen;
+  for (const auto& v : ptrs) {
+    for (std::uintptr_t q : v) {
+      EXPECT_TRUE(seen.insert(q).second) << "duplicate allocation";
+    }
+  }
+  // Values written by each thread must be intact (no overlap smashing).
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kPerThread; ++i) {
+      const auto* q = reinterpret_cast<std::uint64_t*>(ptrs[t][i]);
+      EXPECT_EQ(*q, static_cast<std::uint64_t>(t) << 32 |
+                        static_cast<unsigned>(i));
+    }
+  }
+}
+
+TEST_F(PoolTest, RegisterWithSimMakesPoolCrashable) {
+  Pool& p = Pool::instance();
+  p.register_with_sim();
+  auto* word = static_cast<std::uint64_t*>(p.alloc(sizeof(std::uint64_t)));
+  *word = 0;
+  SimMemory::instance().persist_all();
+
+  BackendScope scope(Backend::kSimCrash);
+  *word = 41;
+  pwb(word);
+  pfence();
+  *word = 42;  // not flushed
+  SimMemory::instance().crash();
+  EXPECT_EQ(*word, 41u);
+}
+
+}  // namespace
+}  // namespace flit::pmem

@@ -1,0 +1,174 @@
+// P-V Interface conformance tests (paper §3, Definition 1), exercised
+// through the crash simulator. These reconstruct the races that motivate
+// the FliT algorithm and check each condition's guarantee directly.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "core/modes.hpp"
+#include "core/persist.hpp"
+#include "support/test_common.hpp"
+
+namespace flit {
+namespace {
+
+using flit::test::PmemTest;
+using P = persist<std::uint64_t, HashedPolicy>;
+
+class PvInterfaceTest : public PmemTest {
+ protected:
+  void SetUp() override {
+    PmemTest::SetUp();
+    pmem::Pool::instance().register_with_sim();
+    pmem::set_backend(pmem::Backend::kSimCrash);
+  }
+
+  P* fresh(std::uint64_t v) {
+    auto* p = pmem::pnew<P>(v);
+    pmem::persist_range(p, sizeof(P));
+    return p;
+  }
+};
+
+// Condition 2 (store dependencies): a completed p-store is persisted by the
+// time the flit-instruction returns — no operation_completion needed.
+TEST_F(PvInterfaceTest, Condition2_PStoreDurableAtInstructionEnd) {
+  P* x = fresh(0);
+  x->store(5, kPersist);
+  pmem::SimMemory::instance().crash();
+  EXPECT_EQ(x->load_private(), 5u);
+}
+
+// Condition 3 (load dependencies): the §5 race. A writer makes its store
+// visible (counter tagged, line flushed but NOT fenced) and stalls. A
+// reader p-loads the value; after the reader's own fence the value must be
+// durable even though the writer never fenced.
+TEST_F(PvInterfaceTest, Condition3_ReaderPersistsPendingStore) {
+  P* x = fresh(0);
+
+  std::thread writer([&] {
+    // Open Algorithm 4's p-store window by hand and stall before the
+    // final pfence/untag: tag, store, pwb (pending in *this* thread).
+    HashedPolicy::tag(x->raw_address());
+    x->store_private(77, kVolatile);  // plain store into volatile memory
+    pmem::pwb(x->raw_address());
+    // Thread exits without a fence: its pending flush is lost.
+  });
+  writer.join();
+
+  // Reader: p-load must observe the tag and flush; its completion fence
+  // persists the dependency (Definition 1, Conditions 3+4).
+  EXPECT_EQ(x->load(kPersist), 77u);
+  P::operation_completion();
+
+  pmem::SimMemory::instance().crash();
+  EXPECT_EQ(x->load_private(), 77u)
+      << "reader's flush-if-tagged must make the observed value durable";
+  HashedPolicy::untag(x->raw_address());
+}
+
+// Negative twin of Condition 3: a v-load does NOT adopt the dependency, so
+// the value is lost — confirming the reader's pwb above is what saved it.
+TEST_F(PvInterfaceTest, Condition3_VLoadAdoptsNoDependency) {
+  P* x = fresh(0);
+  std::thread writer([&] {
+    HashedPolicy::tag(x->raw_address());
+    x->store_private(88, kVolatile);
+    pmem::pwb(x->raw_address());
+  });
+  writer.join();
+
+  EXPECT_EQ(x->load(kVolatile), 88u);  // sees it, doesn't flush it
+  P::operation_completion();
+  pmem::SimMemory::instance().crash();
+  EXPECT_EQ(x->load_private(), 0u);
+  HashedPolicy::untag(x->raw_address());
+}
+
+// Condition 4 (persisting dependencies): a shared store by a process
+// persists everything the process read via p-loads beforehand — the
+// leading pfence of Algorithm 4's shared-store.
+TEST_F(PvInterfaceTest, Condition4_SharedStorePersistsPriorPLoads) {
+  P* a = fresh(0);
+  P* b = fresh(0);
+
+  std::thread writer([&] {
+    HashedPolicy::tag(a->raw_address());
+    a->store_private(11, kVolatile);
+    pmem::pwb(a->raw_address());
+  });
+  writer.join();
+
+  EXPECT_EQ(a->load(kPersist), 11u);  // dependency adopted (pwb pending)
+  b->store(22, kVolatile);            // even a v-store fences first
+  pmem::SimMemory::instance().crash();
+  EXPECT_EQ(a->load_private(), 11u)
+      << "the dependency must persist before the next shared store";
+  HashedPolicy::untag(a->raw_address());
+}
+
+// Condition 4, operation-completion flavor.
+TEST_F(PvInterfaceTest, Condition4_OperationCompletionPersistsDependencies) {
+  P* a = fresh(0);
+  std::thread writer([&] {
+    HashedPolicy::tag(a->raw_address());
+    a->store_private(33, kVolatile);
+    pmem::pwb(a->raw_address());
+  });
+  writer.join();
+
+  EXPECT_EQ(a->load(kPersist), 33u);
+  P::operation_completion();
+  pmem::SimMemory::instance().crash();
+  EXPECT_EQ(a->load_private(), 33u);
+  HashedPolicy::untag(a->raw_address());
+}
+
+// Store ordering: two p-stores by the same process persist in order — the
+// second store's leading pfence covers the first (prefix property used in
+// Theorem 3.1's proof).
+TEST_F(PvInterfaceTest, SameProcessPStoresPersistInOrder) {
+  P* a = fresh(0);
+  P* b = fresh(0);
+  a->store(1, kPersist);
+  b->store(2, kPersist);
+  pmem::SimMemory::instance().crash();
+  // Both completed, so both must be durable; in particular it must never
+  // happen that b persisted without a.
+  EXPECT_EQ(a->load_private(), 1u);
+  EXPECT_EQ(b->load_private(), 2u);
+}
+
+// Private p-stores (paper §5): no counter traffic, but still durable.
+TEST_F(PvInterfaceTest, PrivatePStoreIsDurableAndUntagged) {
+  P* x = fresh(0);
+  const auto before = pmem::stats_snapshot();
+  x->store_private(44, kPersist);
+  const auto d = pmem::stats_snapshot() - before;
+  EXPECT_EQ(d.pwbs, 1u);
+  EXPECT_EQ(d.pfences, 1u);
+  EXPECT_FALSE(x->tagged()) << "private stores never touch the counter";
+  pmem::SimMemory::instance().crash();
+  EXPECT_EQ(x->load_private(), 44u);
+}
+
+// Lemma 5.1 under concurrency: counters never go negative and return to
+// zero once all p-stores complete (checked via the table's all_zero()).
+TEST_F(PvInterfaceTest, CounterBalanceIsZeroWhenQuiescent) {
+  HashedCounterTable::instance().configure(1 << 16, 1);
+  P* x = pmem::pnew<P>(std::uint64_t{0});
+  constexpr int kThreads = 8;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&] {
+      for (int i = 0; i < 3'000; ++i) x->store(static_cast<std::uint64_t>(i), kPersist);
+    });
+  }
+  for (auto& th : ts) th.join();
+  EXPECT_TRUE(HashedCounterTable::instance().all_zero());
+  HashedCounterTable::instance().configure(HashedCounterTable::kDefaultSlots,
+                                           1);
+}
+
+}  // namespace
+}  // namespace flit

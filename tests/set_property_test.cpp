@@ -1,0 +1,179 @@
+// Property tests: every (structure × durability method × word
+// implementation) combination must behave as a linearizable set.
+//
+// Single-threaded runs are checked op-by-op against std::set; concurrent
+// runs are checked with conservation invariants. This is the paper's
+// implicit claim that FliT instrumentation never changes volatile
+// semantics (P-V Interface, Condition 1).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <random>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "ds/harris_list.hpp"
+#include "ds/hash_table.hpp"
+#include "ds/natarajan_bst.hpp"
+#include "ds/skiplist.hpp"
+#include "support/test_common.hpp"
+
+namespace flit::ds {
+namespace {
+
+using flit::test::PmemTest;
+
+// ---------------------------------------------------------------------------
+// Config plumbing: a Config names a concrete set type and how to build it.
+// ---------------------------------------------------------------------------
+
+template <class SetT>
+struct MakeDefault {
+  static SetT make() { return SetT(); }
+};
+template <class SetT>
+struct MakeBuckets {
+  static SetT make() { return SetT(256); }
+};
+
+template <class SetT, template <class> class Maker, int RandomSeed>
+struct Config {
+  using Set = SetT;
+  static Set make() { return Maker<SetT>::make(); }
+  static constexpr int seed = RandomSeed;
+};
+
+template <class Words, class Method>
+using ListOf = HarrisList<std::int64_t, std::int64_t, Words, Method>;
+template <class Words, class Method>
+using BstOf = NatarajanBst<std::int64_t, std::int64_t, Words, Method>;
+template <class Words, class Method>
+using SkipOf = SkipList<std::int64_t, std::int64_t, Words, Method>;
+template <class Words, class Method>
+using TableOf = HashTable<std::int64_t, std::int64_t, Words, Method>;
+
+using AllConfigs = ::testing::Types<
+    // Harris list: methods × {flit-HT, adjacent}, plus plain / volatile /
+    // link-and-persist under Automatic.
+    Config<ListOf<HashedWords, Automatic>, MakeDefault, 1>,
+    Config<ListOf<HashedWords, NVTraverse>, MakeDefault, 2>,
+    Config<ListOf<HashedWords, Manual>, MakeDefault, 3>,
+    Config<ListOf<AdjacentWords, Automatic>, MakeDefault, 4>,
+    Config<ListOf<AdjacentWords, Manual>, MakeDefault, 5>,
+    Config<ListOf<PlainWords, Automatic>, MakeDefault, 6>,
+    Config<ListOf<VolatileWords, Automatic>, MakeDefault, 7>,
+    Config<ListOf<LapWords, Automatic>, MakeDefault, 8>,
+    Config<ListOf<LapWords, Manual>, MakeDefault, 9>,
+    // BST (no link-and-persist possible: uses both pointer bits).
+    Config<BstOf<HashedWords, Automatic>, MakeDefault, 10>,
+    Config<BstOf<HashedWords, NVTraverse>, MakeDefault, 11>,
+    Config<BstOf<HashedWords, Manual>, MakeDefault, 12>,
+    Config<BstOf<AdjacentWords, Automatic>, MakeDefault, 13>,
+    Config<BstOf<PerLineWords, Automatic>, MakeDefault, 14>,
+    Config<BstOf<PlainWords, Manual>, MakeDefault, 15>,
+    Config<BstOf<VolatileWords, Automatic>, MakeDefault, 16>,
+    // Skiplist.
+    Config<SkipOf<HashedWords, Automatic>, MakeDefault, 17>,
+    Config<SkipOf<HashedWords, NVTraverse>, MakeDefault, 18>,
+    Config<SkipOf<HashedWords, Manual>, MakeDefault, 19>,
+    Config<SkipOf<AdjacentWords, Automatic>, MakeDefault, 20>,
+    Config<SkipOf<LapWords, Automatic>, MakeDefault, 21>,
+    // Hash table.
+    Config<TableOf<HashedWords, Automatic>, MakeBuckets, 22>,
+    Config<TableOf<HashedWords, NVTraverse>, MakeBuckets, 23>,
+    Config<TableOf<HashedWords, Manual>, MakeBuckets, 24>,
+    Config<TableOf<AdjacentWords, Automatic>, MakeBuckets, 25>,
+    Config<TableOf<LapWords, Manual>, MakeBuckets, 26>,
+    Config<TableOf<PerLineWords, NVTraverse>, MakeBuckets, 27>>;
+
+template <class C>
+class SetPropertyTest : public PmemTest {};
+TYPED_TEST_SUITE(SetPropertyTest, AllConfigs);
+
+TYPED_TEST(SetPropertyTest, MatchesStdSetUnderRandomOps) {
+  auto set = TypeParam::make();
+  std::set<std::int64_t> oracle;
+  std::mt19937_64 rng(static_cast<std::uint64_t>(TypeParam::seed));
+  constexpr std::int64_t kRange = 96;
+
+  for (int i = 0; i < 6'000; ++i) {
+    const std::int64_t k = static_cast<std::int64_t>(rng() % kRange);
+    switch (rng() % 4) {
+      case 0:
+      case 1: {  // insert
+        const bool expect = oracle.insert(k).second;
+        ASSERT_EQ(set.insert(k, k), expect) << "op " << i << " key " << k;
+        break;
+      }
+      case 2: {  // remove
+        const bool expect = oracle.erase(k) > 0;
+        ASSERT_EQ(set.remove(k), expect) << "op " << i << " key " << k;
+        break;
+      }
+      default: {  // contains
+        ASSERT_EQ(set.contains(k), oracle.count(k) > 0)
+            << "op " << i << " key " << k;
+      }
+    }
+  }
+  EXPECT_EQ(set.size(), oracle.size());
+  for (std::int64_t k = 0; k < kRange; ++k) {
+    ASSERT_EQ(set.contains(k), oracle.count(k) > 0) << k;
+  }
+}
+
+TYPED_TEST(SetPropertyTest, ConcurrentNetInsertionsMatchSize) {
+  auto set = TypeParam::make();
+  constexpr int kThreads = 4;
+  constexpr std::int64_t kRange = 128;
+  std::atomic<std::int64_t> net{0};
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&set, &net, t] {
+      std::mt19937_64 rng(static_cast<std::uint64_t>(
+          TypeParam::seed * 1000 + t));
+      std::int64_t local = 0;
+      for (int i = 0; i < 2'000; ++i) {
+        const std::int64_t k = static_cast<std::int64_t>(rng() % kRange);
+        if (rng() % 2 == 0) {
+          if (set.insert(k, k)) ++local;
+        } else {
+          if (set.remove(k)) --local;
+        }
+      }
+      net.fetch_add(local);
+    });
+  }
+  for (auto& th : ts) th.join();
+  EXPECT_EQ(set.size(), static_cast<std::size_t>(net.load()));
+}
+
+TYPED_TEST(SetPropertyTest, InsertedKeysVisibleToOtherThreads) {
+  auto set = TypeParam::make();
+  constexpr std::int64_t kKeys = 256;
+  std::atomic<std::int64_t> published{-1};
+  std::atomic<bool> ok{true};
+  std::thread reader([&] {
+    std::int64_t seen = -1;
+    while (seen < kKeys - 1) {
+      const std::int64_t p = published.load(std::memory_order_acquire);
+      for (std::int64_t k = seen + 1; k <= p; ++k) {
+        if (!set.contains(k)) {
+          ok.store(false);
+          return;
+        }
+      }
+      seen = p;
+    }
+  });
+  for (std::int64_t k = 0; k < kKeys; ++k) {
+    ASSERT_TRUE(set.insert(k, k));
+    published.store(k, std::memory_order_release);
+  }
+  reader.join();
+  EXPECT_TRUE(ok.load()) << "a completed insert must be visible to readers";
+}
+
+}  // namespace
+}  // namespace flit::ds

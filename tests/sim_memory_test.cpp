@@ -1,0 +1,188 @@
+// Unit tests for the crash simulator: the executable model of the paper's
+// §2.1 volatile/persistent memory semantics.
+#include "pmem/sim_memory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "pmem/backend.hpp"
+#include "support/test_common.hpp"
+
+namespace flit::pmem {
+namespace {
+
+// A line-aligned scratch region for direct SimMemory manipulation.
+struct alignas(kCacheLineSize) Scratch {
+  std::uint64_t words[64] = {};  // 8 cache lines
+};
+
+class SimMemoryTest : public flit::test::PmemTest {};
+
+TEST_F(SimMemoryTest, UnflushedStoreIsLostOnCrash) {
+  static Scratch s;
+  s.words[0] = 0;
+  SimMemory::instance().register_region(&s, sizeof(s));
+
+  s.words[0] = 42;  // volatile store, never flushed
+  SimMemory::instance().crash();
+  EXPECT_EQ(s.words[0], 0u) << "store must not survive without pwb+pfence";
+}
+
+TEST_F(SimMemoryTest, FlushedAndFencedStoreSurvivesCrash) {
+  static Scratch s;
+  s.words[1] = 0;
+  SimMemory::instance().register_region(&s, sizeof(s));
+
+  s.words[1] = 7;
+  SimMemory::instance().on_pwb(&s.words[1]);
+  SimMemory::instance().on_pfence();
+  SimMemory::instance().crash();
+  EXPECT_EQ(s.words[1], 7u);
+}
+
+TEST_F(SimMemoryTest, FlushWithoutFenceIsLostOnCrash) {
+  static Scratch s;
+  s.words[2] = 0;
+  SimMemory::instance().register_region(&s, sizeof(s));
+
+  s.words[2] = 9;
+  SimMemory::instance().on_pwb(&s.words[2]);
+  // no pfence
+  SimMemory::instance().crash();
+  EXPECT_EQ(s.words[2], 0u)
+      << "pwb is non-blocking; without pfence the line may not be durable";
+}
+
+TEST_F(SimMemoryTest, PwbSnapshotsValueAtFlushTime) {
+  static Scratch s;
+  s.words[3] = 0;
+  SimMemory::instance().register_region(&s, sizeof(s));
+
+  s.words[3] = 1;
+  SimMemory::instance().on_pwb(&s.words[3]);  // snapshot holds 1
+  s.words[3] = 2;                             // later store, not flushed
+  SimMemory::instance().on_pfence();
+  SimMemory::instance().crash();
+  EXPECT_EQ(s.words[3], 1u);
+}
+
+TEST_F(SimMemoryTest, WholeLineIsFlushedTogether) {
+  static Scratch s;
+  SimMemory::instance().register_region(&s, sizeof(s));
+
+  // words[0..7] share the first line.
+  s.words[0] = 11;
+  s.words[7] = 77;
+  SimMemory::instance().on_pwb(&s.words[0]);
+  SimMemory::instance().on_pfence();
+  SimMemory::instance().crash();
+  EXPECT_EQ(s.words[0], 11u);
+  EXPECT_EQ(s.words[7], 77u) << "pwb persists the whole cache line";
+}
+
+TEST_F(SimMemoryTest, DistinctLinesAreIndependent) {
+  static Scratch s;
+  s = Scratch{};
+  SimMemory::instance().register_region(&s, sizeof(s));
+
+  s.words[0] = 1;   // line 0, flushed
+  s.words[8] = 2;   // line 1, not flushed
+  SimMemory::instance().on_pwb(&s.words[0]);
+  SimMemory::instance().on_pfence();
+  SimMemory::instance().crash();
+  EXPECT_EQ(s.words[0], 1u);
+  EXPECT_EQ(s.words[8], 0u);
+}
+
+TEST_F(SimMemoryTest, PwbOutsideRegionIsIgnored) {
+  static Scratch s;
+  SimMemory::instance().register_region(&s, sizeof(s));
+  std::uint64_t local = 5;
+  SimMemory::instance().on_pwb(&local);  // must not crash or track
+  SimMemory::instance().on_pfence();
+  EXPECT_FALSE(SimMemory::instance().contains(&local));
+  EXPECT_TRUE(SimMemory::instance().contains(&s.words[0]));
+}
+
+TEST_F(SimMemoryTest, PendingIsPerThread) {
+  static Scratch s;
+  s.words[0] = 0;
+  SimMemory::instance().register_region(&s, sizeof(s));
+
+  s.words[0] = 123;
+  SimMemory::instance().on_pwb(&s.words[0]);
+  EXPECT_TRUE(SimMemory::instance().line_pending_here(&s.words[0]));
+
+  // Another thread's pfence must NOT publish this thread's pending line.
+  std::thread([] { SimMemory::instance().on_pfence(); }).join();
+  SimMemory::instance().crash();
+  EXPECT_EQ(s.words[0], 0u);
+}
+
+TEST_F(SimMemoryTest, CrashDiscardsPendingFlushes) {
+  static Scratch s;
+  s.words[4] = 0;
+  SimMemory::instance().register_region(&s, sizeof(s));
+
+  s.words[4] = 50;
+  SimMemory::instance().on_pwb(&s.words[4]);
+  SimMemory::instance().crash();
+  // Post-crash pfence must not resurrect the pre-crash pending flush.
+  SimMemory::instance().on_pfence();
+  EXPECT_EQ(s.words[4], 0u);
+}
+
+TEST_F(SimMemoryTest, PersistAllCheckpointsCurrentState) {
+  static Scratch s;
+  SimMemory::instance().register_region(&s, sizeof(s));
+  s.words[5] = 99;
+  SimMemory::instance().persist_all();
+  s.words[5] = 100;  // volatile
+  SimMemory::instance().crash();
+  EXPECT_EQ(s.words[5], 99u);
+}
+
+TEST_F(SimMemoryTest, PersistedLineIntrospection) {
+  static Scratch s;
+  s.words[0] = 0xABCD;
+  SimMemory::instance().register_region(&s, sizeof(s));
+  auto line = SimMemory::instance().persisted_line(&s.words[0]);
+  ASSERT_EQ(line.size(), kCacheLineSize);
+  std::uint64_t v = 0;
+  std::memcpy(&v, line.data(), sizeof(v));
+  EXPECT_EQ(v, 0xABCDu);
+}
+
+TEST_F(SimMemoryTest, ConcurrentFlushersPublishTheirOwnLines) {
+  static Scratch s;
+  s = Scratch{};
+  SimMemory::instance().register_region(&s, sizeof(s));
+
+  constexpr int kThreads = 8;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([t] {
+      // Thread t owns line t (words 8t..8t+7).
+      s.words[8 * t] = static_cast<std::uint64_t>(t + 1);
+      SimMemory::instance().on_pwb(&s.words[8 * t]);
+      SimMemory::instance().on_pfence();
+    });
+  }
+  for (auto& th : ts) th.join();
+  SimMemory::instance().crash();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(s.words[8 * t], static_cast<std::uint64_t>(t + 1));
+  }
+}
+
+TEST_F(SimMemoryTest, CrashCountAdvances) {
+  const auto before = SimMemory::instance().crash_count();
+  SimMemory::instance().crash();
+  EXPECT_GT(SimMemory::instance().crash_count(), before);
+}
+
+}  // namespace
+}  // namespace flit::pmem
