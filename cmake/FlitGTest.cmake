@@ -1,0 +1,49 @@
+# Resolve GoogleTest, defining the GTest::gtest_main target, in order of
+# preference:
+#
+#  1. When sanitizers are on and the distro ships the googletest sources
+#     (Debian/Ubuntu libgtest-dev => /usr/src/googletest), build them in-tree
+#     so gtest carries the same -fsanitize instrumentation as the tests.
+#  2. An installed binary package via find_package(GTest) — but never for
+#     sanitizer builds: linking uninstrumented gtest into instrumented tests
+#     yields spurious TSan/ASan reports, so sanitizer builds without the
+#     distro sources fall through to the (instrumented) fetch instead.
+#  3. FetchContent from GitHub (needs network; pinned release tarball so CI
+#     can cache it).
+include_guard(GLOBAL)
+
+set(FLIT_GTEST_SOURCE_DIR "/usr/src/googletest" CACHE PATH
+    "Distro-provided googletest source tree (used for sanitizer builds)")
+
+set(_flit_gtest_from_source FALSE)
+if(FLIT_SANITIZE AND EXISTS "${FLIT_GTEST_SOURCE_DIR}/CMakeLists.txt")
+  set(_flit_gtest_from_source TRUE)
+endif()
+
+if(NOT _flit_gtest_from_source AND NOT FLIT_SANITIZE)
+  find_package(GTest QUIET)
+endif()
+
+if(_flit_gtest_from_source)
+  set(BUILD_GMOCK OFF CACHE BOOL "" FORCE)
+  set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+  add_subdirectory("${FLIT_GTEST_SOURCE_DIR}"
+                   "${CMAKE_BINARY_DIR}/_gtest_src" EXCLUDE_FROM_ALL)
+  message(STATUS "flit: GoogleTest built from ${FLIT_GTEST_SOURCE_DIR} (sanitized)")
+elseif(GTest_FOUND)
+  message(STATUS "flit: GoogleTest found via find_package")
+else()
+  message(STATUS "flit: GoogleTest not installed; fetching pinned release")
+  include(FetchContent)
+  set(BUILD_GMOCK OFF CACHE BOOL "" FORCE)
+  set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+  FetchContent_Declare(googletest
+    URL https://github.com/google/googletest/archive/refs/tags/v1.14.0.tar.gz
+    URL_HASH SHA256=8ad598c73ad796e0d8280b082cebd82a630d73e73cd3c70057938a6501bba5d7
+    DOWNLOAD_EXTRACT_TIMESTAMP TRUE)
+  FetchContent_MakeAvailable(googletest)
+endif()
+
+if(NOT TARGET GTest::gtest_main)
+  message(FATAL_ERROR "flit: no usable GoogleTest (GTest::gtest_main missing)")
+endif()

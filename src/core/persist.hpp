@@ -110,8 +110,13 @@ class persist {
   }
 
   /// Shared compare-and-swap. On failure `expected` is updated with the
-  /// observed value (std::atomic semantics).
-  bool cas(T& expected, T desired, bool pflag = default_pflag) noexcept {
+  /// observed value (std::atomic semantics). Constrained to types without
+  /// padding bits: std::atomic compares object representations, so a CAS
+  /// on a padded aggregate can fail spuriously on indeterminate padding —
+  /// reject that at compile time instead of at 3am.
+  bool cas(T& expected, T desired, bool pflag = default_pflag) noexcept
+    requires std::has_unique_object_representations_v<T>
+  {
     if constexpr (kind == CounterKind::kVolatile) {
       return val_.compare_exchange_strong(expected, desired,
                                           std::memory_order_seq_cst,
@@ -135,7 +140,9 @@ class persist {
 
   /// Convenience CAS that does not report the witness value.
   bool compare_and_set(T expected, T desired,
-                       bool pflag = default_pflag) noexcept {
+                       bool pflag = default_pflag) noexcept
+    requires std::has_unique_object_representations_v<T>
+  {
     return cas(expected, desired, pflag);
   }
 

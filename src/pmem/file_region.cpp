@@ -7,6 +7,8 @@
 
 #include <cerrno>
 #include <cstring>
+#include <map>
+#include <mutex>
 #include <stdexcept>
 #include <utility>
 
@@ -20,6 +22,60 @@ namespace {
   throw std::runtime_error("FileRegion: " + what + " (" +
                            std::strerror(errno) + ")");
 }
+
+// Address reservations left behind by close(). Absolute pointers inside a
+// region require re-mapping at the same address, but plain munmap leaves a
+// hole that any intervening mmap (heap arena growth, Pool::reinit, ...)
+// may claim, making a later reopen fail nondeterministically. close()
+// therefore replaces the file mapping with a PROT_NONE/MAP_NORESERVE
+// reservation (costing address space only), and open() consumes the
+// reservation with MAP_FIXED. Cross-process reopens still depend on the
+// recorded base being free — that limitation is documented in the header.
+class ReservationTable {
+ public:
+  static ReservationTable& instance() {
+    // Immortal (never destroyed): FileRegion destructors of static-storage
+    // objects may run close() during static destruction.
+    static ReservationTable* t = new ReservationTable();
+    return *t;
+  }
+
+  /// Replace [base, base+capacity) with a PROT_NONE reservation. The
+  /// MAP_FIXED mapping atomically unmaps whatever is there; on failure we
+  /// fall back to a plain munmap (losing only the address guarantee).
+  void reserve(void* base, std::size_t capacity) noexcept {
+    void* r = ::mmap(base, capacity, PROT_NONE,
+                     MAP_PRIVATE | MAP_ANONYMOUS | MAP_FIXED | MAP_NORESERVE,
+                     -1, 0);
+    if (r == base) {
+      const std::lock_guard<std::mutex> lock(mu_);
+      ranges_[reinterpret_cast<std::uintptr_t>(base)] = capacity;
+    } else {
+      (void)::munmap(base, capacity);
+    }
+  }
+
+  /// True (and the entry is removed) if [base, base+capacity) is exactly a
+  /// reservation we own, in which case the caller may MAP_FIXED over it.
+  bool take(void* base, std::size_t capacity) noexcept {
+    const std::lock_guard<std::mutex> lock(mu_);
+    const auto it = ranges_.find(reinterpret_cast<std::uintptr_t>(base));
+    if (it == ranges_.end() || it->second != capacity) return false;
+    ranges_.erase(it);
+    return true;
+  }
+
+  /// Drop the reservation for [base, base+capacity) (if we hold one) and
+  /// return the address space to the kernel — used when the backing file
+  /// is destroyed, so create/close/destroy cycles don't accumulate vmas.
+  void release(void* base, std::size_t capacity) noexcept {
+    if (take(base, capacity)) (void)::munmap(base, capacity);
+  }
+
+ private:
+  std::mutex mu_;
+  std::map<std::uintptr_t, std::size_t> ranges_;
+};
 
 }  // namespace
 
@@ -53,24 +109,38 @@ FileRegion FileRegion::open(const std::string& path, std::size_t capacity) {
                 prev.magic == kMagic;
     if (have_prev) capacity = static_cast<std::size_t>(prev.capacity);
   }
+  // Error paths below throw and let r's destructor close the fd exactly
+  // once (an explicit ::close here would double-close on unwind, possibly
+  // hitting an unrelated descriptor that reused the number).
   if (::ftruncate(r.fd_, static_cast<off_t>(capacity)) != 0) {
-    ::close(r.fd_);
     fail("ftruncate");
   }
 
   void* hint = have_prev ? reinterpret_cast<void*>(prev.base) : nullptr;
   int flags = MAP_SHARED;
+  bool over_reservation = false;
+  if (hint != nullptr) {
+    over_reservation = ReservationTable::instance().take(hint, capacity);
+    if (over_reservation) {
+      flags |= MAP_FIXED;  // over our own close()-time reservation
+    } else {
 #ifdef MAP_FIXED_NOREPLACE
-  if (hint != nullptr) flags |= MAP_FIXED_NOREPLACE;
+      flags |= MAP_FIXED_NOREPLACE;
 #endif
+    }
+  }
   void* mem = ::mmap(hint, capacity, PROT_READ | PROT_WRITE, flags, r.fd_, 0);
   if (mem == MAP_FAILED) {
-    ::close(r.fd_);
+    // If we consumed a reservation, the address is forfeited: a failed
+    // MAP_FIXED leaves the prior-mapping state unspecified, so neither
+    // re-recording the range (another mapping may occupy part of it) nor
+    // remapping it (MAP_FIXED would clobber that mapping) is safe. Any
+    // surviving PROT_NONE fragments stay harmlessly mapped; a later
+    // reopen takes the MAP_FIXED_NOREPLACE path and fails loudly.
     fail("mmap");
   }
   if (have_prev && mem != hint) {
     ::munmap(mem, capacity);
-    ::close(r.fd_);
     throw std::runtime_error(
         "FileRegion: could not re-map at the recorded base address; "
         "pointers inside the region would dangle");
@@ -93,6 +163,22 @@ FileRegion FileRegion::open(const std::string& path, std::size_t capacity) {
 }
 
 void FileRegion::destroy(const std::string& path) {
+  // Release any reservation this process still holds for the file's
+  // recorded base — with the file gone the address needs no protection,
+  // and create/close/destroy cycles would otherwise leak one PROT_NONE
+  // vma each. A region that is currently mapped (not reserved) is left
+  // untouched: take() won't match it.
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    Header h{};
+    const ssize_t n = ::pread(fd, &h, sizeof(h), 0);
+    ::close(fd);
+    if (n == static_cast<ssize_t>(sizeof(h)) && h.magic == kMagic) {
+      ReservationTable::instance().release(
+          reinterpret_cast<void*>(h.base),
+          static_cast<std::size_t>(h.capacity));
+    }
+  }
   (void)::unlink(path.c_str());
 }
 
@@ -127,7 +213,18 @@ void FileRegion::sync() {
 void FileRegion::close() {
   if (base_ != nullptr) {
     (void)::msync(base_, capacity_, MS_SYNC);
-    ::munmap(base_, capacity_);
+    // Only reserve the address if the backing file is still linked
+    // somewhere (fstat on the open fd — immune to chdir/rename): after
+    // destroy() there is nothing to reopen, and an unreleasable
+    // reservation would leak one vma per open/destroy/close cycle.
+    struct stat st;
+    const bool linked =
+        fd_ >= 0 && ::fstat(fd_, &st) == 0 && st.st_nlink > 0;
+    if (linked) {
+      ReservationTable::instance().reserve(base_, capacity_);
+    } else {
+      (void)::munmap(base_, capacity_);
+    }
     base_ = nullptr;
   }
   if (fd_ >= 0) {

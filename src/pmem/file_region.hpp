@@ -9,7 +9,9 @@
 //   * the mapping base address (pointers stored in the region are
 //     absolute, so reopening maps at the same address — the same
 //     contract PMDK's libpmemobj solves with offset pointers; we use a
-//     fixed-address remap and fail loudly if the range is taken),
+//     fixed-address remap and fail loudly if the range is taken; within
+//     one process close() leaves a PROT_NONE reservation behind so a
+//     close/reopen cycle cannot lose the address to an unrelated mmap),
 //   * the allocator bump offset (so reopening resumes allocation), and
 //   * up to kMaxRoots named root offsets (entry points for recovery).
 //

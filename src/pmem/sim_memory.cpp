@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <cstring>
+#include <stdexcept>
 
 namespace flit::pmem {
 
@@ -24,17 +25,27 @@ void SimMemory::register_region(void* base, std::size_t len) {
   r.base = b;
   r.len = len;
   r.shadow = std::make_unique<std::byte[]>(len);
+  r.snap_seq = std::make_unique<std::uint64_t[]>(len / kCacheLineSize);
+  r.line_seq = std::make_unique<std::uint64_t[]>(len / kCacheLineSize);
   std::memcpy(r.shadow.get(), base, len);
 
   std::lock_guard<std::mutex> lk(mu_);
-  regions_.push_back(std::move(r));
-  region_count_.store(regions_.size(), std::memory_order_release);
+  const std::size_t n = region_count_.load(std::memory_order_relaxed);
+  if (n == kMaxRegions) {
+    // Loud failure even under NDEBUG: silently dropping a region would
+    // make every pwb/pfence on it a no-op and crash() skip it — tests
+    // would "pass" while simulating nothing.
+    throw std::length_error("SimMemory: too many registered regions");
+  }
+  regions_[n] = std::move(r);
+  region_count_.store(n + 1, std::memory_order_release);
 }
 
 void SimMemory::clear_regions() {
   std::lock_guard<std::mutex> lk(mu_);
-  regions_.clear();
+  const std::size_t n = region_count_.load(std::memory_order_relaxed);
   region_count_.store(0, std::memory_order_release);
+  for (std::size_t i = 0; i < n; ++i) regions_[i] = Region{};
   // Invalidate every thread's pending buffer lazily.
   crash_epoch_.fetch_add(1, std::memory_order_acq_rel);
 }
@@ -69,8 +80,20 @@ void SimMemory::on_pwb(const void* addr) {
 
   PendingLine pl;
   pl.line = line_base(a);
+  // Snapshot under the line's stripe lock with a per-line sequence number:
+  // snapshots of one line are serialized, so a higher seq is a no-older
+  // memory state. publish_line() uses that order to drop stale snapshots —
+  // otherwise thread A's pfence could publish a pre-B snapshot of a shared
+  // line and roll back thread B's already-fenced write (real cache lines
+  // are coherent; a write-back can never revert one).
+  const std::size_t idx = line_index(r->base, pl.line);
+  std::atomic_flag& lock = line_locks_[idx % kLockStripes];
+  while (lock.test_and_set(std::memory_order_acquire)) {
+  }
+  pl.seq = ++r->snap_seq[idx];
   std::memcpy(pl.data.data(), reinterpret_cast<const void*>(pl.line),
               kCacheLineSize);
+  lock.clear(std::memory_order_release);
   tp.lines.push_back(pl);
 }
 
@@ -80,8 +103,11 @@ void SimMemory::publish_line(const Region& r, const PendingLine& pl) {
   while (lock.test_and_set(std::memory_order_acquire)) {
     // spin; critical section is a 64-byte copy
   }
-  std::memcpy(r.shadow.get() + idx * kCacheLineSize, pl.data.data(),
-              kCacheLineSize);
+  if (pl.seq > r.line_seq[idx]) {
+    r.line_seq[idx] = pl.seq;
+    std::memcpy(r.shadow.get() + idx * kCacheLineSize, pl.data.data(),
+                kCacheLineSize);
+  }
   lock.clear(std::memory_order_release);
 }
 
@@ -104,14 +130,14 @@ void SimMemory::on_pfence() {
 
 std::vector<std::byte> SimMemory::clone_shadow(std::size_t idx) const {
   std::lock_guard<std::mutex> lk(mu_);
-  if (idx >= regions_.size()) return {};
+  if (idx >= region_count_.load(std::memory_order_acquire)) return {};
   const Region& r = regions_[idx];
   return std::vector<std::byte>(r.shadow.get(), r.shadow.get() + r.len);
 }
 
 std::vector<std::byte> SimMemory::clone_volatile(std::size_t idx) const {
   std::lock_guard<std::mutex> lk(mu_);
-  if (idx >= regions_.size()) return {};
+  if (idx >= region_count_.load(std::memory_order_acquire)) return {};
   const Region& r = regions_[idx];
   const auto* p = reinterpret_cast<const std::byte*>(r.base);
   return std::vector<std::byte>(p, p + r.len);
@@ -120,7 +146,7 @@ std::vector<std::byte> SimMemory::clone_volatile(std::size_t idx) const {
 void SimMemory::overwrite_volatile(const std::vector<std::byte>& image,
                                    std::size_t idx) {
   std::lock_guard<std::mutex> lk(mu_);
-  if (idx >= regions_.size()) return;
+  if (idx >= region_count_.load(std::memory_order_acquire)) return;
   Region& r = regions_[idx];
   const std::size_t n = image.size() < r.len ? image.size() : r.len;
   std::memcpy(reinterpret_cast<void*>(r.base), image.data(), n);
@@ -134,7 +160,9 @@ void SimMemory::set_pfence_hook(PfenceHook hook, void* ctx) noexcept {
 
 void SimMemory::crash() {
   std::lock_guard<std::mutex> lk(mu_);
-  for (Region& r : regions_) {
+  const std::size_t n = region_count_.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < n; ++i) {
+    Region& r = regions_[i];
     std::memcpy(reinterpret_cast<void*>(r.base), r.shadow.get(), r.len);
   }
   crash_epoch_.fetch_add(1, std::memory_order_acq_rel);
@@ -142,7 +170,9 @@ void SimMemory::crash() {
 
 void SimMemory::persist_all() {
   std::lock_guard<std::mutex> lk(mu_);
-  for (Region& r : regions_) {
+  const std::size_t n = region_count_.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < n; ++i) {
+    Region& r = regions_[i];
     std::memcpy(r.shadow.get(), reinterpret_cast<const void*>(r.base), r.len);
   }
   crash_epoch_.fetch_add(1, std::memory_order_acq_rel);

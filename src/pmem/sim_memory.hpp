@@ -8,7 +8,10 @@
 //     cache line's bytes are snapshotted into the issuing thread's pending
 //     set.
 //   * pfence() makes every line the issuing thread flushed reach persistent
-//     memory: pending snapshots are published to the shadow image.
+//     memory: pending snapshots are published to the shadow image. Like
+//     real (coherent) cache lines, publication never moves a line
+//     backwards: snapshots carry a per-line order and a stale snapshot
+//     cannot overwrite a newer one already published by another thread.
 //   * crash() models a power failure: the volatile view is overwritten with
 //     the shadow image — every store that was not covered by a pwb+pfence
 //     pair is lost — and all pending (flushed-but-not-fenced) state is
@@ -43,7 +46,9 @@ class SimMemory {
 
   /// Track [base, base+len) as persistent memory. The region's current
   /// content is taken as the initial persisted image. `base` must be
-  /// cache-line aligned; `len` is rounded up to whole lines.
+  /// cache-line aligned; `len` is rounded up to whole lines, and the
+  /// caller must own every byte of the rounded range — the simulator
+  /// snapshots and (on crash()) rewrites whole cache lines.
   void register_region(void* base, std::size_t len);
 
   /// Drop all tracked regions and pending state (test teardown).
@@ -114,10 +119,17 @@ class SimMemory {
     std::uintptr_t base = 0;
     std::size_t len = 0;  // whole cache lines
     std::unique_ptr<std::byte[]> shadow;
+    // Per-line snapshot order, both guarded by the line's stripe lock:
+    // snap_seq numbers each pwb snapshot of the line; line_seq records the
+    // newest snapshot published to the shadow, so stale snapshots are
+    // dropped instead of rolling the shadow line backwards.
+    std::unique_ptr<std::uint64_t[]> snap_seq;
+    std::unique_ptr<std::uint64_t[]> line_seq;
   };
 
   struct PendingLine {
     std::uintptr_t line = 0;
+    std::uint64_t seq = 0;  // this line's snapshot order (see on_pwb)
     std::array<std::byte, kCacheLineSize> data{};
   };
 
@@ -133,11 +145,14 @@ class SimMemory {
   const Region* find_region(std::uintptr_t addr) const noexcept;
   void publish_line(const Region& r, const PendingLine& pl);
 
-  // Region list is append-only under mu_; readers take a shared snapshot
-  // via the atomic count (regions are never removed except clear_regions,
-  // which is stop-the-world).
+  // Region list is append-only under mu_; readers index entries
+  // [0, region_count_) lock-free via the acquire-loaded count (regions are
+  // never removed except clear_regions, which is stop-the-world). A
+  // fixed-capacity array so registration never moves or re-links storage
+  // concurrent readers are traversing.
+  static constexpr std::size_t kMaxRegions = 64;
   mutable std::mutex mu_;
-  std::vector<Region> regions_;
+  std::array<Region, kMaxRegions> regions_;
   std::atomic<std::size_t> region_count_{0};
 
   std::atomic<std::uint64_t> crash_epoch_{0};

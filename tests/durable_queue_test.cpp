@@ -67,12 +67,17 @@ TEST_F(DurableQueueTest, ConcurrentProducersConsumers) {
   for (int c = 0; c < kConsumers; ++c) {
     ts.emplace_back([&, c] {
       for (;;) {
+        // Order matters: only an empty dequeue that STARTED after
+        // done_producing was observed is final — read the flag first.
+        // (Reading it after an empty dequeue races with the last enqueue;
+        // and a second "confirming" dequeue must not drop a won value.)
+        const bool done = done_producing.load();
         auto v = q.dequeue(c);
         if (v.has_value()) {
           consumed_sum.fetch_add(*v);
           consumed_count.fetch_add(1);
-        } else if (done_producing.load()) {
-          if (!q.dequeue(c).has_value()) return;
+        } else if (done) {
+          return;
         }
       }
     });

@@ -144,7 +144,9 @@ TEST_F(FileRegionTest, DataStructureSurvivesRemapCycle) {
     for (std::int64_t k = 0; k < 500; ++k) {
       const bool expected = (k % 5) != 0;
       ASSERT_EQ(view.contains(k), expected) << k;
-      if (expected) ASSERT_EQ(view.find(k).value(), 2 * k);
+      if (expected) {
+        ASSERT_EQ(view.find(k).value(), 2 * k);
+      }
     }
     // The recovered structure stays fully operational.
     EXPECT_TRUE(view.insert(1'000, 1));

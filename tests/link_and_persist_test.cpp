@@ -4,9 +4,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstddef>
 #include <thread>
 #include <vector>
 
+#include "pmem/cacheline.hpp"
 #include "support/test_common.hpp"
 
 namespace flit {
@@ -119,8 +121,14 @@ TEST_F(LapTest, ConcurrentCasChainsLikeAtomic) {
 
 TEST_F(LapTest, ReaderFlushesDirtyWord) {
   pmem::BackendScope scope(pmem::Backend::kSimCrash);
-  alignas(64) static struct {
+  // Padded to a whole cache line: the simulator registers, restores, and
+  // flushes at line granularity, so the registered object must own every
+  // byte of the lines it spans.
+  static_assert(sizeof(lap_word<Obj*>) < pmem::kCacheLineSize,
+                "pad arithmetic below needs a sub-line word");
+  alignas(pmem::kCacheLineSize) static struct {
     lap_word<Obj*> w;
+    std::byte pad[pmem::kCacheLineSize - sizeof(lap_word<Obj*>)];
   } region;
   static Obj a{1};
   pmem::SimMemory::instance().register_region(&region, sizeof(region));

@@ -111,7 +111,9 @@ TEST_F(BPlusTreeTest, MatchesStdMapUnderRandomOps) {
         const auto it = oracle.find(k);
         const auto got = t.find(k);
         ASSERT_EQ(got.has_value(), it != oracle.end()) << "op " << i;
-        if (got) ASSERT_EQ(*got, it->second);
+        if (got) {
+          ASSERT_EQ(*got, it->second);
+        }
       }
     }
   }
