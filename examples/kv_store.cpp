@@ -1,78 +1,56 @@
-// kv_store — a multi-threaded durable key-value store built on the FliT
-// hash table (the paper's motivating use case: persistent database
-// indexes / in-memory KV stores on NVRAM).
+// kv_store — the sharded durable key-value store under a YCSB-B-style
+// workload (the paper's motivating use case: persistent database indexes /
+// in-memory KV stores on NVRAM).
 //
-// Demonstrates choosing a durability method and counter placement at the
-// type level, and measuring the persistence-instruction cost of a real
-// workload mix.
+// Built entirely on the kv::Store subsystem: hash-partitioned shards over
+// FliT hash tables, variable-length persistent value records, and the
+// YCSB workload driver from bench_util — no hand-rolled workload mix or
+// root-slot plumbing.
 //
 // Build & run:  ./examples/kv_store [n_threads]
 #include <cstdio>
 #include <cstdlib>
-#include <thread>
-#include <vector>
 
-#include "bench_util/workload.hpp"
-#include "ds/hash_table.hpp"
+#include "bench_util/ycsb.hpp"
+#include "kv/store.hpp"
 #include "pmem/backend.hpp"
 
 using namespace flit;
 
 // Production pick per the paper's conclusions: flit-HT placement (no node
 // layout changes) + NVtraverse annotations (volatile traversals).
-using Store = ds::HashTable<std::int64_t, std::int64_t, HashedWords,
-                            NVTraverse>;
+using KvStore = kv::Store<HashedWords, NVTraverse>;
 
 int main(int argc, char** argv) {
   const int n_threads = argc > 1 ? std::atoi(argv[1]) : 4;
   pmem::set_backend(pmem::Backend::kSimLatency);
 
-  constexpr std::int64_t kKeys = 16'384;
-  Store store(kKeys);
+  bench::YcsbConfig cfg;
+  cfg.mix = bench::YcsbMix::b();  // 95% reads / 5% updates, zipfian
+  cfg.threads = n_threads;
+  cfg.record_count = 16'384;
+  cfg.value_bytes = 100;
+  cfg.duration_s = 1.0;
 
-  // Phase 1: bulk load.
-  for (std::int64_t k = 0; k < kKeys / 2; ++k) store.insert(k, k * k);
-  std::printf("loaded %zu keys\n", store.size());
+  KvStore store(8, cfg.record_count / 8);
+  bench::ycsb_load(store, cfg);
+  std::printf("loaded %zu records across %u shards\n", store.size(),
+              store.nshards());
 
-  // Phase 2: concurrent mixed workload (90% lookups / 10% updates).
-  std::vector<std::thread> workers;
-  std::atomic<std::uint64_t> hits{0}, ops{0};
-  const auto t0 = std::chrono::steady_clock::now();
-  for (int t = 0; t < n_threads; ++t) {
-    workers.emplace_back([&, t] {
-      bench::Rng rng(static_cast<std::uint64_t>(t) * 7919 + 3);
-      std::uint64_t local_hits = 0;
-      for (int i = 0; i < 200'000; ++i) {
-        const auto k = static_cast<std::int64_t>(rng.next_below(kKeys));
-        const double r = rng.next_unit();
-        if (r < 0.90) {
-          if (store.contains(k)) ++local_hits;
-        } else if (r < 0.95) {
-          store.insert(k, k);
-        } else {
-          store.remove(k);
-        }
-      }
-      hits.fetch_add(local_hits);
-      ops.fetch_add(200'000);
-    });
-  }
-  for (auto& w : workers) w.join();
-  const double secs =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-          .count();
-
-  const auto stats = pmem::stats_snapshot();
-  std::printf("%llu ops in %.2fs (%.2f Mops/s), hit-rate %.1f%%\n",
-              static_cast<unsigned long long>(ops.load()), secs,
-              static_cast<double>(ops.load()) / secs / 1e6,
-              100.0 * static_cast<double>(hits.load()) /
-                  static_cast<double>(ops.load()));
+  const bench::YcsbResult r = bench::run_ycsb(store, cfg);
+  std::printf("YCSB-%s: %llu ops in %.2fs (%.2f Mops/s)\n", cfg.mix.name,
+              static_cast<unsigned long long>(r.total_ops), r.seconds,
+              r.mops());
   std::printf("pwbs/op = %.3f  pfences/op = %.3f  (FliT skipped the rest)\n",
-              static_cast<double>(stats.pwbs) /
-                  static_cast<double>(ops.load()),
-              static_cast<double>(stats.pfences) /
-                  static_cast<double>(ops.load()));
-  std::printf("final size: %zu keys\nkv_store: OK\n", store.size());
+              r.pwbs_per_op(), r.pfences_per_op());
+  std::printf("final size: %zu records, generation %llu\n", store.size(),
+              static_cast<unsigned long long>(store.generation()));
+
+  if (r.value_mismatches != 0) {
+    std::printf("kv_store: FAILED (%llu corrupt reads)\n",
+                static_cast<unsigned long long>(r.value_mismatches));
+    return 1;
+  }
+  std::printf("kv_store: OK\n");
   return 0;
 }

@@ -1,90 +1,119 @@
 // persistent_restart — real persistence across process restarts.
 //
-// The other examples simulate NVRAM inside one process. This one uses the
-// file-backed region (fsdax-style): a durable hash table lives in a
-// mmap'd file; each run of the program re-opens the file, recovers the
-// table from its persistent roots, verifies last run's data, and adds a
-// new generation of keys.
+// The other examples simulate NVRAM inside one process. This one opens a
+// file-backed kv::Store (fsdax-style): each run re-opens the file,
+// transparently recovers all shards and the generation stamp, verifies
+// last run's data, and writes a new generation of records. All the root-
+// slot, allocator-bump and recovery plumbing that earlier versions of
+// this example hand-rolled now lives inside Store::open()/close().
 //
 // Build & run (run it several times!):  ./examples/persistent_restart
 // Start over:                           rm /tmp/flit_restart_demo.pmem
 #include <cstdio>
+#include <string>
 
-#include "ds/hash_table.hpp"
+#include "kv/store.hpp"
 #include "pmem/backend.hpp"
-#include "pmem/file_region.hpp"
-#include "pmem/pool.hpp"
 
 using namespace flit;
-using Store = ds::HashTable<std::int64_t, std::int64_t, HashedWords,
-                            Automatic>;
+using KvStore = kv::Store<HashedWords, Automatic>;
 
 namespace {
 constexpr const char* kPath = "/tmp/flit_restart_demo.pmem";
 constexpr std::int64_t kPerGeneration = 1'000;
+// The demo's own metadata lives in the store too: generation g is
+// *completed* iff marker key -(g+1) exists, inserted only after the
+// generation's records are all in. Markers are written exactly once
+// (fresh inserts are single atomic+durable operations — unlike an
+// overwrite, which is remove+insert and could lose the counter to a
+// crash between the halves). The store's generation() stamp counts
+// sessions (bumped at open), so an interrupted run leaves the two
+// different — and the next run simply rewrites the incomplete
+// generation instead of reporting data loss.
+constexpr std::int64_t marker_key(std::uint64_t g) {
+  return -static_cast<std::int64_t>(g) - 1;
+}
 
-// Root slots in the region header.
-constexpr std::size_t kRootsSlot = 0;      // HashTable::Roots*
-constexpr std::size_t kGenerationSlot = 1; // generation counter word
+std::string value_for(std::int64_t key, std::uint64_t generation) {
+  return "gen" + std::to_string(generation) + ":key" + std::to_string(key);
+}
+}  // namespace
+
+namespace {
+KvStore open_or_recreate() {
+  try {
+    return KvStore::open(kPath, 64 << 20, /*nshards=*/4,
+                         /*buckets_per_shard=*/1'024);
+  } catch (const kv::IncompatibleStore& e) {
+    // A stale file from an older/incompatible layout (e.g. the pre-KV
+    // version of this demo). It's a demo file: start over. Transient
+    // system errors (EMFILE, ENOMEM, a taken address range) propagate —
+    // destroying the data would not fix those.
+    std::printf("cannot recover %s (%s);\nrecreating the demo store.\n",
+                kPath, e.what());
+    pmem::FileRegion::destroy(kPath);
+    return KvStore::open(kPath, 64 << 20, 4, 1'024);
+  }
+}
 }  // namespace
 
 int main() {
   pmem::set_backend(pmem::Backend::kHardware);  // real clwb when available
-  pmem::FileRegion region = pmem::FileRegion::open(kPath, 64 << 20);
-  pmem::Pool::instance().adopt(region.usable_base(),
-                               region.usable_capacity(), region.bump());
+  KvStore store = open_or_recreate();
 
-  std::int64_t generation = 0;
-  // Leaked intentionally: the handle is volatile, the nodes are not; see
-  // the file_region test for why the destructor must not run.
-  Store* store = nullptr;
-
-  if (region.recovered()) {
-    auto* gen_word = static_cast<std::int64_t*>(region.root(kGenerationSlot));
-    generation = *gen_word;
-    store = new Store(Store::recover(
-        static_cast<Store::Roots*>(region.root(kRootsSlot))));
-    std::printf("recovered region: generation %lld, %zu keys on file\n",
-                static_cast<long long>(generation), store->size());
-
-    // Verify every previous generation is intact.
+  const std::uint64_t sessions = store.generation();
+  std::uint64_t completed = 0;
+  while (store.contains(marker_key(completed + 1))) ++completed;
+  if (sessions > 1) {
+    std::printf(
+        "recovered store: session %llu, %llu completed generations, "
+        "%zu records on file\n",
+        static_cast<unsigned long long>(sessions),
+        static_cast<unsigned long long>(completed), store.size());
     bool ok = true;
-    for (std::int64_t g = 0; g < generation; ++g) {
+    for (std::uint64_t g = 1; g <= completed; ++g) {
       for (std::int64_t i = 0; i < kPerGeneration; i += 97) {
-        const std::int64_t k = g * kPerGeneration + i;
-        if (!store->contains(k)) {
-          std::printf("  MISSING key %lld from generation %lld!\n",
-                      static_cast<long long>(k), static_cast<long long>(g));
+        const auto k =
+            static_cast<std::int64_t>(g - 1) * kPerGeneration + i;
+        const auto v = store.get(k);
+        if (!v || *v != value_for(k, g)) {
+          std::printf("  MISSING/CORRUPT key %lld from generation %llu!\n",
+                      static_cast<long long>(k),
+                      static_cast<unsigned long long>(g));
           ok = false;
         }
       }
     }
-    std::printf("spot-check of prior generations: %s\n",
+    std::printf("spot-check of completed generations: %s\n",
                 ok ? "all present" : "DATA LOSS");
     if (!ok) return 1;
   } else {
-    std::printf("fresh region created at %s\n", kPath);
-    store = new Store(4'096);
-    region.set_root(kRootsSlot, store->roots());
-    auto* gen_word =
-        static_cast<std::int64_t*>(pmem::Pool::instance().alloc(64));
-    *gen_word = 0;
-    region.set_root(kGenerationSlot, gen_word);
+    std::printf("fresh store created at %s\n", kPath);
   }
 
-  // Write this run's generation of keys.
-  for (std::int64_t i = 0; i < kPerGeneration; ++i) {
-    store->insert(generation * kPerGeneration + i, generation);
+  const std::uint64_t writing = completed + 1;
+  const auto base =
+      static_cast<std::int64_t>(writing - 1) * kPerGeneration;
+  try {
+    for (std::int64_t i = 0; i < kPerGeneration; ++i) {
+      store.put(base + i, value_for(base + i, writing));
+    }
+    store.put(marker_key(writing), "done");  // commit: one fresh insert
+  } catch (const std::bad_alloc&) {
+    // The fixed-size demo file eventually fills (each session leaks its
+    // predecessors' free lists — the allocator model is arena-like).
+    std::printf(
+        "demo file is full after %llu completed generations;\n"
+        "rm %s to start over.\n",
+        static_cast<unsigned long long>(completed), kPath);
+    return 1;
   }
-  auto* gen_word = static_cast<std::int64_t*>(region.root(kGenerationSlot));
-  *gen_word = generation + 1;
+  const std::size_t total = store.size();
+  store.close();  // quiesce, persist the bump mark, sync, unmap
 
-  recl::Ebr::instance().drain_all();
-  region.set_bump(pmem::Pool::instance().bump_used());
-  region.sync();
-  std::printf("wrote generation %lld (%lld keys); total now %zu\n",
-              static_cast<long long>(generation),
-              static_cast<long long>(kPerGeneration), store->size());
+  std::printf("wrote generation %llu (%lld records); total now %zu\n",
+              static_cast<unsigned long long>(writing),
+              static_cast<long long>(kPerGeneration), total);
   std::printf("run me again to watch the data come back.\n");
   std::printf("persistent_restart: OK\n");
   return 0;

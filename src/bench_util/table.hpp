@@ -12,6 +12,29 @@
 
 namespace flit::bench {
 
+/// Incremental `CSV,`-prefixed row emission, shared by every bench binary:
+/// construction prints the header line, row() prints one data line. Use
+/// this directly when results stream out point by point (the YCSB bench);
+/// Table::print_csv uses it for batch emission.
+class CsvWriter {
+ public:
+  CsvWriter(std::string tag, const std::vector<std::string>& headers)
+      : tag_(std::move(tag)) {
+    emit(headers);
+  }
+
+  void row(const std::vector<std::string>& cells) { emit(cells); }
+
+ private:
+  void emit(const std::vector<std::string>& cells) {
+    std::printf("CSV,%s", tag_.c_str());
+    for (const auto& c : cells) std::printf(",%s", c.c_str());
+    std::printf("\n");
+  }
+
+  std::string tag_;
+};
+
 class Table {
  public:
   explicit Table(std::vector<std::string> headers)
@@ -56,14 +79,8 @@ class Table {
 
   /// Print `CSV,<tag>,<h1>,<h2>,...` then one CSV line per row.
   void print_csv(const std::string& tag) const {
-    std::printf("CSV,%s", tag.c_str());
-    for (const auto& h : headers_) std::printf(",%s", h.c_str());
-    std::printf("\n");
-    for (const auto& row : rows_) {
-      std::printf("CSV,%s", tag.c_str());
-      for (const auto& c : row) std::printf(",%s", c.c_str());
-      std::printf("\n");
-    }
+    CsvWriter csv(tag, headers_);
+    for (const auto& row : rows_) csv.row(row);
   }
 
  private:

@@ -1,0 +1,270 @@
+// ycsb.hpp — YCSB-style workloads for the KV store (src/kv/).
+//
+// The set microbenchmark in workload.hpp reproduces the paper's §6.1
+// protocol. The KV subsystem is evaluated the way PPoPP-artifact KV
+// systems usually are: the YCSB core workloads (Cooper et al., SoCC'10)
+// over a zipfian key popularity distribution.
+//
+//   A  50% read / 50% update          zipfian
+//   B  95% read /  5% update          zipfian
+//   C 100% read                       zipfian
+//   D  95% read /  5% insert          read-latest (reads skew to the
+//                                     newest inserted keys)
+//
+// "Update" means put on an existing key; "insert" extends the keyspace.
+// Keys are scrambled (hashed rank) as in YCSB's ScrambledZipfian so the
+// hottest keys are spread across shards and buckets instead of clustering
+// at 0..k.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util/workload.hpp"
+#include "pmem/stats.hpp"
+#include "recl/ebr.hpp"
+
+namespace flit::bench {
+
+/// Zipfian rank generator over [0, n) with parameter theta (YCSB default
+/// 0.99), after Gray et al.'s rejection-free method as used in YCSB's
+/// ZipfianGenerator. Construction is O(n) (the zeta sum); next() is O(1).
+class Zipfian {
+ public:
+  explicit Zipfian(std::uint64_t n, double theta = 0.99)
+      : n_(n), theta_(theta) {
+    if (n == 0 || theta <= 0.0 || theta >= 1.0) {
+      // theta == 1 (classic Zipf) needs the harmonic special case this
+      // implementation deliberately omits; fail fast instead of handing
+      // back inf/NaN ranks.
+      throw std::invalid_argument("Zipfian: need n > 0 and 0 < theta < 1");
+    }
+    double zetan = 0.0;
+    for (std::uint64_t i = 1; i <= n_; ++i) {
+      zetan += 1.0 / std::pow(static_cast<double>(i), theta_);
+    }
+    zetan_ = zetan;
+    zeta2_ = 1.0 + 1.0 / std::pow(2.0, theta_);
+    alpha_ = 1.0 / (1.0 - theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+           (1.0 - zeta2_ / zetan_);
+  }
+
+  /// Zipf-distributed rank in [0, n): rank 0 is the most popular.
+  std::uint64_t next(Rng& rng) const noexcept {
+    const double u = rng.next_unit();
+    const double uz = u * zetan_;
+    if (uz < 1.0) return 0;
+    if (uz < zeta2_) return 1;
+    const auto r = static_cast<std::uint64_t>(
+        static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    return r >= n_ ? n_ - 1 : r;
+  }
+
+  /// ScrambledZipfian: hash the rank so popular keys are spread uniformly
+  /// over the keyspace (still in [0, n)).
+  std::uint64_t next_scrambled(Rng& rng) const noexcept {
+    return scramble(next(rng)) % n_;
+  }
+
+  std::uint64_t n() const noexcept { return n_; }
+
+  static std::uint64_t scramble(std::uint64_t x) noexcept {
+    // fmix64 (splitmix finalizer) — stationary, cheap, well mixed.
+    x ^= x >> 33;
+    x *= 0xFF51AFD7ED558CCDull;
+    x ^= x >> 33;
+    x *= 0xC4CEB9FE1A85EC53ull;
+    x ^= x >> 33;
+    return x;
+  }
+
+ private:
+  std::uint64_t n_;
+  double theta_, alpha_, zetan_, eta_, zeta2_;
+};
+
+enum class YcsbOp { kRead, kUpdate, kInsert };
+
+/// One YCSB core-workload mix.
+struct YcsbMix {
+  const char* name;
+  double read_frac;    ///< remainder splits update/insert below
+  double update_frac;  ///< put on an existing key
+  double insert_frac;  ///< put on a fresh key (extends the keyspace)
+  bool read_latest;    ///< D: reads skew towards recently inserted keys
+
+  YcsbOp pick(Rng& rng) const noexcept {
+    const double r = rng.next_unit();
+    if (r < read_frac) return YcsbOp::kRead;
+    if (r < read_frac + update_frac) return YcsbOp::kUpdate;
+    return YcsbOp::kInsert;
+  }
+
+  static constexpr YcsbMix a() { return {"A", 0.50, 0.50, 0.0, false}; }
+  static constexpr YcsbMix b() { return {"B", 0.95, 0.05, 0.0, false}; }
+  static constexpr YcsbMix c() { return {"C", 1.00, 0.00, 0.0, false}; }
+  static constexpr YcsbMix d() { return {"D", 0.95, 0.00, 0.05, true}; }
+};
+
+struct YcsbConfig {
+  YcsbMix mix = YcsbMix::b();
+  int threads = 4;
+  std::uint64_t record_count = 10'000;  ///< prefilled keys
+  std::size_t value_bytes = 100;        ///< YCSB default: ~100B values
+  double zipf_theta = 0.99;
+  double duration_s = 1.0;
+  std::uint64_t seed = 0x5EEDu;
+};
+
+/// Deterministic value payload for key k: an 8-byte key stamp followed by
+/// filler, so readers can verify what they fetch.
+inline std::string ycsb_value(std::int64_t k, std::size_t len) {
+  std::string v(len, static_cast<char>('a' + (k & 0xF)));
+  const auto stamp = static_cast<std::uint64_t>(k);
+  for (std::size_t i = 0; i < sizeof(stamp) && i < len; ++i) {
+    v[i] = static_cast<char>((stamp >> (8 * i)) & 0xFF);
+  }
+  return v;
+}
+
+/// True if `v` is a plausible ycsb_value for k (checks the key stamp).
+inline bool ycsb_value_matches(std::int64_t k, const std::string& v,
+                               std::size_t len) {
+  if (v.size() != len) return false;
+  const auto stamp = static_cast<std::uint64_t>(k);
+  for (std::size_t i = 0; i < sizeof(stamp) && i < len; ++i) {
+    if (v[i] != static_cast<char>((stamp >> (8 * i)) & 0xFF)) return false;
+  }
+  return true;
+}
+
+struct YcsbResult {
+  std::uint64_t total_ops = 0;
+  std::uint64_t read_misses = 0;      ///< reads that found no value
+  std::uint64_t value_mismatches = 0; ///< reads whose payload failed verify
+  double seconds = 0.0;
+  pmem::StatsSnapshot persistence;
+
+  double mops() const noexcept {
+    return seconds > 0 ? static_cast<double>(total_ops) / seconds / 1e6 : 0;
+  }
+  double pwbs_per_op() const noexcept {
+    return total_ops > 0 ? static_cast<double>(persistence.pwbs) /
+                               static_cast<double>(total_ops)
+                         : 0;
+  }
+  double pfences_per_op() const noexcept {
+    return total_ops > 0 ? static_cast<double>(persistence.pfences) /
+                               static_cast<double>(total_ops)
+                         : 0;
+  }
+};
+
+/// Load phase: put keys [0, record_count) with deterministic payloads.
+/// `KV` needs put/get/remove over (int64 key, string_view value).
+template <class KV>
+void ycsb_load(KV& kv, const YcsbConfig& cfg) {
+  for (std::uint64_t k = 0; k < cfg.record_count; ++k) {
+    kv.put(static_cast<std::int64_t>(k),
+           ycsb_value(static_cast<std::int64_t>(k), cfg.value_bytes));
+  }
+}
+
+/// Timed run phase. Reads verify the fetched payload's key stamp; the
+/// returned counters give the run teeth (a store that loses or cross-wires
+/// records shows up as misses/mismatches, not just as throughput).
+/// `zipf` must have been built over cfg.record_count — pass one generator
+/// into repeated runs (its construction is O(n)); the two-argument
+/// overload below builds it for one-off calls.
+template <class KV>
+YcsbResult run_ycsb(KV& kv, const YcsbConfig& cfg, const Zipfian& zipf) {
+  std::atomic<bool> start{false};
+  std::atomic<bool> stop{false};
+  // D's insert frontier: the next fresh key (shared across threads).
+  std::atomic<std::uint64_t> frontier{cfg.record_count};
+
+  struct PerThread {
+    std::uint64_t ops = 0, misses = 0, mismatches = 0;
+  };
+  std::vector<PerThread> per_thread(static_cast<std::size_t>(cfg.threads));
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(cfg.threads));
+
+  for (int t = 0; t < cfg.threads; ++t) {
+    workers.emplace_back([&, t] {
+      Rng rng(cfg.seed + 0x9000ull * static_cast<std::uint64_t>(t + 1));
+      PerThread local;
+      while (!start.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+      while (!stop.load(std::memory_order_relaxed)) {
+        std::int64_t k;
+        switch (cfg.mix.pick(rng)) {
+          case YcsbOp::kRead: {
+            if (cfg.mix.read_latest) {
+              // Skew towards the newest keys: newest minus a zipf offset.
+              const std::uint64_t hi =
+                  frontier.load(std::memory_order_relaxed);
+              const std::uint64_t back = zipf.next(rng) % hi;
+              k = static_cast<std::int64_t>(hi - 1 - back);
+            } else {
+              k = static_cast<std::int64_t>(zipf.next_scrambled(rng));
+            }
+            const auto v = kv.get(k);
+            if (!v) {
+              ++local.misses;
+            } else if (!ycsb_value_matches(k, *v, cfg.value_bytes)) {
+              ++local.mismatches;
+            }
+            break;
+          }
+          case YcsbOp::kUpdate:
+            k = static_cast<std::int64_t>(zipf.next_scrambled(rng));
+            kv.put(k, ycsb_value(k, cfg.value_bytes));
+            break;
+          case YcsbOp::kInsert:
+            k = static_cast<std::int64_t>(
+                frontier.fetch_add(1, std::memory_order_relaxed));
+            kv.put(k, ycsb_value(k, cfg.value_bytes));
+            break;
+        }
+        ++local.ops;
+      }
+      per_thread[static_cast<std::size_t>(t)] = local;
+    });
+  }
+
+  const pmem::StatsSnapshot before = pmem::stats_snapshot();
+  const auto t0 = std::chrono::steady_clock::now();
+  start.store(true, std::memory_order_release);
+  std::this_thread::sleep_for(std::chrono::duration<double>(cfg.duration_s));
+  stop.store(true, std::memory_order_release);
+  for (auto& w : workers) w.join();
+  const auto t1 = std::chrono::steady_clock::now();
+
+  YcsbResult r;
+  for (const PerThread& p : per_thread) {
+    r.total_ops += p.ops;
+    r.read_misses += p.misses;
+    r.value_mismatches += p.mismatches;
+  }
+  r.seconds = std::chrono::duration<double>(t1 - t0).count();
+  r.persistence = pmem::stats_snapshot() - before;
+  recl::Ebr::instance().drain_all();
+  return r;
+}
+
+template <class KV>
+YcsbResult run_ycsb(KV& kv, const YcsbConfig& cfg) {
+  const Zipfian zipf(cfg.record_count, cfg.zipf_theta);
+  return run_ycsb(kv, cfg, zipf);
+}
+
+}  // namespace flit::bench

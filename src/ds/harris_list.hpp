@@ -95,13 +95,21 @@ class HarrisList {
   }
 
   /// Remove k. Returns false if k is absent.
-  bool remove(K k) {
+  bool remove(K k) { return remove_get(k).has_value(); }
+
+  /// Remove k, returning the removed value (nullopt if k is absent).
+  /// Values are immutable once a node is published, so the value read
+  /// after the successful mark CAS is the unique value this removal
+  /// unlinked — exactly one removal observes it, which lets callers own
+  /// cleanup of value-referenced storage (the KV record slab relies on
+  /// this for EBR retirement of superseded records).
+  std::optional<V> remove_get(K k) {
     recl::Ebr::Guard g;
     for (;;) {
       auto [pred, curr] = search(k);
       if (curr->key.load(Method::critical_load) != k) {
         Words::operation_completion();
-        return false;
+        return std::nullopt;
       }
       Node* succ = curr->next.load(Method::critical_load);
       if (is_marked(succ)) continue;  // raced with another remover; re-find
@@ -111,6 +119,11 @@ class HarrisList {
                           Method::critical_store)) {
         continue;  // next changed (insert after curr, or competing mark)
       }
+      // Private load: values are immutable once published (and persisted
+      // at node init), and winning the mark CAS means no concurrent writer
+      // exists — a p-load here would only add counter traffic and
+      // spurious pwbs to every remove.
+      const V removed = curr->value.load_private();
       // Physical deletion: unlink; on failure, search() will help.
       Node* e = curr;
       if (pred->next.cas(e, succ, Method::cleanup_store)) {
@@ -119,7 +132,7 @@ class HarrisList {
         search(k);  // ensures curr is unlinked (and retired by the helper)
       }
       Words::operation_completion();
-      return true;
+      return removed;
     }
   }
 
@@ -168,6 +181,26 @@ class HarrisList {
   /// crash in the persistent pool. Recovery is read-only, per the model.
   static HarrisList recover(Node* head, Node* tail) {
     return HarrisList(head, tail);
+  }
+
+  /// Disown the nodes: the destructor will no longer free them. Used when
+  /// the structure's bytes outlive this handle (e.g. a file-backed region
+  /// being closed while the persisted nodes stay on disk).
+  void release() noexcept { owns_ = false; }
+
+  /// Visit every linked node — sentinels and marked nodes included — as
+  /// f(node, is_marked). Single-threaded use only (recovery sweeps that
+  /// rebuild allocator metadata must see every byte a traversal could
+  /// reach; note a *marked* node's value may reference already-reclaimed
+  /// storage, which is why the flag is passed along).
+  template <class F>
+  void for_each_linked(F&& f) const {
+    const Node* c = head_;
+    while (c != nullptr) {
+      const Node* succ = c->next.load_private();
+      f(*c, is_marked(succ));
+      c = without_mark(succ);
+    }
   }
 
  private:

@@ -55,6 +55,8 @@ class HashTable {
 
   bool insert(K k, V v) { return bucket(k).insert(k, v); }
   bool remove(K k) { return bucket(k).remove(k); }
+  /// Remove k, returning the removed value (see HarrisList::remove_get).
+  std::optional<V> remove_get(K k) { return bucket(k).remove_get(k); }
   bool contains(K k) const { return bucket(k).contains(k); }
   std::optional<V> find(K k) const { return bucket(k).find(k); }
 
@@ -81,6 +83,25 @@ class HashTable {
           Bucket::recover(roots->entries[i].head, roots->entries[i].tail));
     }
     return t;
+  }
+
+  /// Disown every bucket's nodes (see HarrisList::release): the persisted
+  /// bytes outlive this volatile handle.
+  void release() noexcept {
+    for (Bucket& b : buckets_) b.release();
+  }
+
+  /// Visit every linked node in every bucket as f(node, is_marked);
+  /// single-threaded use only (see HarrisList::for_each_linked).
+  template <class F>
+  void for_each_linked(F&& f) const {
+    for (const Bucket& b : buckets_) b.for_each_linked(f);
+  }
+
+  /// One past the last byte of the persisted root array.
+  std::uintptr_t roots_extent() const noexcept {
+    return reinterpret_cast<std::uintptr_t>(roots_) + sizeof(Roots) +
+           (roots_->nbuckets - 1) * sizeof(typename Roots::Entry);
   }
 
  private:

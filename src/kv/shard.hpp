@@ -1,0 +1,221 @@
+// shard.hpp — one shard of the durable key-value store: a FliT hash table
+// mapping int64 keys to variable-length persistent value records.
+//
+// The paper's motivating use case is persistent in-memory indexes and KV
+// stores (§1). The set-structures in src/ds/ carry fixed-width trivially
+// copyable values in their nodes; a KV store needs arbitrary byte-string
+// values. A shard composes the two:
+//
+//   * values live in Records — variable-length blocks in the persistent
+//     pool, fully written and published with a persist_range (one pwb per
+//     cache line + pfence) *before* the table ever points at them, so a
+//     record reachable from a persisted table link is always intact;
+//   * the hash table stores Record* and provides durable linearizability
+//     of the key→record mapping via the Words×Method grid, exactly like
+//     the paper's evaluated structures;
+//   * a superseded or removed record is retired through EBR by whichever
+//     operation uniquely unlinked it (HarrisList::remove_get returns the
+//     value observed at the mark CAS), so concurrent readers copying the
+//     record's bytes under an Ebr::Guard never see freed memory.
+//
+// Overwrite semantics: node values are immutable (that immutability is
+// what makes remove_get's retirement unique), so put-over-existing-key is
+// remove + insert. Each half is atomic and durable; a concurrent get may
+// observe the gap between them — the delete+set contract of memcached-
+// style stores, documented at the Store API.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "ds/hash_table.hpp"
+#include "pmem/pool.hpp"
+#include "recl/ebr.hpp"
+
+namespace flit::kv {
+
+/// A persistent variable-length value record. Header plus `len` payload
+/// bytes, allocated as one block from the persistent pool.
+struct Record {
+  std::uint32_t len;
+
+  char* data() noexcept { return reinterpret_cast<char*>(this + 1); }
+  const char* data() const noexcept {
+    return reinterpret_cast<const char*>(this + 1);
+  }
+  std::string_view view() const noexcept { return {data(), len}; }
+
+  static std::size_t bytes(std::size_t payload) noexcept {
+    return sizeof(Record) + payload;
+  }
+
+  /// Allocate a record in the persistent pool and, when `persistent`, make
+  /// its bytes durable before the caller publishes a pointer to it.
+  template <bool persistent>
+  static Record* create(std::string_view value) {
+    if (value.size() > kMaxValueBytes) {
+      throw std::length_error("kv::Record: value too large");
+    }
+    auto* r = static_cast<Record*>(
+        pmem::Pool::instance().alloc(bytes(value.size())));
+    r->len = static_cast<std::uint32_t>(value.size());
+    if (!value.empty()) std::memcpy(r->data(), value.data(), value.size());
+    if constexpr (persistent) {
+      pmem::persist_range(r, bytes(value.size()));
+    }
+    return r;
+  }
+
+  /// Hand an unlinked record to EBR; freed once no reader can reach it.
+  static void retire(Record* r) {
+    recl::Ebr::instance().retire(r, [](void* p) {
+      auto* rec = static_cast<Record*>(p);
+      recl::ebr_pmem_free(rec, bytes(rec->len));
+    });
+  }
+
+  static constexpr std::size_t kMaxValueBytes = std::size_t{1} << 26;
+};
+
+/// One hash-partitioned shard: a FliT hash table over a value-record slab.
+template <class Words = HashedWords, class Method = Automatic>
+class Shard {
+ public:
+  using Key = std::int64_t;
+  using Table = ds::HashTable<Key, Record*, Words, Method>;
+  /// Persistent recovery root of a shard (stored in the Store superblock).
+  using Roots = typename Table::Roots;
+
+  explicit Shard(std::size_t nbuckets) : table_(nbuckets) {}
+
+  Shard(const Shard&) = delete;
+  Shard& operator=(const Shard&) = delete;
+  Shard(Shard&&) noexcept = default;
+
+  /// Keys the underlying Harris lists reserve for their sentinel nodes.
+  /// put() rejects them; get/contains/remove treat them as always absent
+  /// (they can never have been stored).
+  static constexpr bool reserved_key(Key k) noexcept {
+    return k == std::numeric_limits<Key>::min() ||
+           k == std::numeric_limits<Key>::max();
+  }
+
+  /// Insert or overwrite. Returns true if k was absent (fresh insert).
+  bool put(Key k, std::string_view value) {
+    if (reserved_key(k)) {
+      throw std::invalid_argument("kv: INT64_MIN/INT64_MAX are reserved");
+    }
+    // No guard here: the record is thread-private until insert publishes
+    // it, the table operations pin their own epochs, and pinning across
+    // a large value's copy + per-line flush would stall reclamation
+    // everywhere else.
+    Record* rec = Record::create<Words::persistent>(value);
+    bool fresh = true;
+    try {
+      while (!table_.insert(k, rec)) {
+        // Key present: unlink the old pairing and retry the insert.
+        // Whoever wins the mark CAS owns retiring the superseded record.
+        if (std::optional<Record*> old = table_.remove_get(k)) {
+          Record::retire(*old);
+          fresh = false;
+        }
+      }
+    } catch (...) {
+      // insert's node allocation can throw on a near-full pool; rec was
+      // never published, so free it immediately rather than leak it.
+      pmem::Pool::instance().dealloc(rec, Record::bytes(rec->len));
+      throw;
+    }
+    return fresh;
+  }
+
+  /// Copy out the value for k (nullopt if absent). The Ebr::Guard spans
+  /// the pointer lookup *and* the byte copy: the record cannot be freed
+  /// while we read it.
+  std::optional<std::string> get(Key k) const {
+    if (reserved_key(k)) return std::nullopt;
+    recl::Ebr::Guard g;
+    const std::optional<Record*> rec = table_.find(k);
+    if (!rec) return std::nullopt;
+    return std::string((*rec)->view());
+  }
+
+  /// Remove k. Returns true if it was present.
+  bool remove(Key k) {
+    if (reserved_key(k)) return false;
+    if (std::optional<Record*> old = table_.remove_get(k)) {
+      Record::retire(*old);
+      return true;
+    }
+    return false;
+  }
+
+  bool contains(Key k) const {
+    return !reserved_key(k) && table_.contains(k);
+  }
+
+  /// Reachable keys; single-threaded use only (like HashTable::size).
+  std::size_t size() const { return table_.size(); }
+
+  std::size_t bucket_count() const noexcept { return table_.bucket_count(); }
+
+  // --- crash recovery ------------------------------------------------------
+
+  Roots* roots() const noexcept { return table_.roots(); }
+
+  /// Rebuild a non-owning shard handle from its persisted table roots.
+  static Shard recover(Roots* roots) {
+    return Shard(Table::recover(roots));
+  }
+
+  /// Disown the persisted nodes (file-backed stores closing the region).
+  void release() noexcept { table_.release(); }
+
+  /// One past the highest byte reachable from this shard: root array,
+  /// every linked node, and every *live* record. A marked node's record
+  /// was already retired (possibly reclaimed and reused before the
+  /// crash), so its pointer may dangle — exactly why traversals never
+  /// read marked values — and it is excluded here the same way. Live
+  /// record pointers and lengths are validated against [lo, limit)
+  /// before the first dereference (std::length_error on bit rot); node
+  /// pointer corruption has no integrity metadata and stays out of
+  /// scope. Single-threaded recovery use only.
+  std::uintptr_t max_extent(std::uintptr_t lo, std::uintptr_t limit) const {
+    std::uintptr_t hi = table_.roots_extent();
+    table_.for_each_linked(
+        [&hi, lo, limit](const typename Table::Node& n, bool marked) {
+          const auto node_end =
+              reinterpret_cast<std::uintptr_t>(&n) + sizeof(n);
+          if (node_end > hi) hi = node_end;
+          const Record* r = n.value.load_private();
+          if (marked || r == nullptr) return;  // sentinel or retired value
+          const auto ra = reinterpret_cast<std::uintptr_t>(r);
+          if (ra < lo || ra + sizeof(Record) > limit) {
+            throw std::length_error(
+                "kv: record pointer outside the region");
+          }
+          if (r->len > Record::kMaxValueBytes) {
+            // A live record's length is bounded at creation; anything
+            // larger is bit rot, and trusting it would poison the
+            // rebuilt allocator mark.
+            throw std::length_error("kv: corrupt record length");
+          }
+          const auto rec_end = ra + Record::bytes(r->len);
+          if (rec_end > hi) hi = rec_end;
+        });
+    return hi;
+  }
+
+ private:
+  explicit Shard(Table&& t) noexcept : table_(std::move(t)) {}
+
+  Table table_;
+};
+
+}  // namespace flit::kv

@@ -1,0 +1,488 @@
+// store.hpp — the sharded durable key-value store.
+//
+// N kv::Shards (each a FliT hash table + value-record slab, see shard.hpp)
+// behind one get/put/remove API, hash-partitioned by key. Everything
+// recovery needs hangs off one persistent *superblock*:
+//
+//   Superblock { magic, version, nshards, generation, shard_roots[] }
+//
+// allocated in the persistent pool and persisted before use. The store
+// runs in two placements:
+//
+//   * pool-backed  — Store(nshards, buckets): superblock and all data live
+//     in the process-global Pool. Used by benchmarks and by the simulated-
+//     crash tests, which recover with Store::recover(superblock()).
+//   * file-backed  — Store::open(path, ...): the Pool adopts a FileRegion
+//     and the superblock is wired to the region's root slot 0, so a later
+//     open() of the same file transparently recovers every shard and the
+//     generation stamp survives process restarts. Allocator metadata is
+//     not crash-consistent (the libvmmalloc model), so open() rebuilds
+//     the pool's high-water mark by sweeping the recovered shards —
+//     a dirty shutdown (no close()) cannot cause recovered records to be
+//     handed back out by the allocator. On DRAM+disk machines the
+//     mmap'd bytes themselves are only msync-durable: checkpoint()/
+//     close() bound that exposure; on DAX the pwb/pfence backend
+//     applies as-is.
+//
+// The generation stamp counts sessions: 1 on creation, +1 (persisted) on
+// every successful recovery — restart-count telemetry that doubles as a
+// recovery proof in the tests.
+//
+// Consistency contract: get/put/remove on a single key are atomic and
+// durably linearizable per the Words×Method configuration, with one
+// documented exception — put over an *existing* key is remove + insert
+// (node values are immutable; see shard.hpp). Two consequences: a
+// concurrent get may observe the key briefly absent, and a crash landing
+// between the two halves recovers with the key absent (old value durably
+// removed, new one not yet committed) even though the put never
+// returned. Each half is individually durable — no *returned* operation
+// is ever lost. Closing this window with an atomic in-place overwrite is
+// a ROADMAP item. size() is a single-threaded sweep.
+//
+// Lifetime contract: a Store handle is volatile; the persistent bytes are
+// not owned by it. Destroying a pool-backed store releases the handles and
+// leaves the bytes to Pool::reset/reinit (arena semantics, like the
+// paper's libvmmalloc model). close() on a file-backed store quiesces
+// reclamation, persists the allocator high-water mark, syncs and unmaps —
+// after which the global Pool still targets the unmapped region, so call
+// Pool::reinit (or exit) before allocating persistently again.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "kv/shard.hpp"
+#include "pmem/file_region.hpp"
+#include "pmem/pool.hpp"
+
+namespace flit::kv {
+
+/// The file exists but cannot be recovered by this Store instantiation:
+/// wrong magic/version, a different Words configuration's node layout, or
+/// a corrupt header. Distinct from transient system errors (which surface
+/// as plain std::runtime_error from FileRegion) so callers can decide to
+/// recreate only when the file itself is the problem.
+struct IncompatibleStore : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+template <class Words = HashedWords, class Method = Automatic>
+class Store {
+ public:
+  using Key = std::int64_t;
+  using Shard_ = Shard<Words, Method>;
+
+  static constexpr std::uint64_t kMagic = 0xF117'4B56'0000'0001ull;
+  static constexpr std::uint32_t kVersion = 1;
+  /// FileRegion root slot holding the superblock.
+  static constexpr std::size_t kSuperblockSlot = 0;
+  /// Root slot doubling as a clean-shutdown flag: non-null only between a
+  /// quiesced close() and the next open(). While it is set, the header's
+  /// bump mark is authoritative and open() can skip the O(data) recovery
+  /// sweep; a dirty shutdown leaves it null. (checkpoint() deliberately
+  /// does NOT set it: post-checkpoint allocations would sit above the
+  /// checkpointed mark.)
+  static constexpr std::size_t kCleanShutdownSlot = 1;
+
+  /// Persistent recovery root: everything Store::recover needs.
+  struct Superblock {
+    std::uint64_t magic;
+    std::uint32_t version;
+    std::uint32_t nshards;
+    std::uint64_t generation;  ///< sessions: 1 at creation, +1 per recovery
+    std::uint32_t words_tag;   ///< hash of Words::name (layout guard)
+    std::uint32_t node_bytes;  ///< sizeof(Table::Node) (layout guard)
+    typename Shard_::Roots* shard_roots[1];  // flexible-array idiom
+
+    static std::size_t bytes(std::uint32_t nshards) noexcept {
+      return sizeof(Superblock) +
+             (nshards - 1) * sizeof(typename Shard_::Roots*);
+    }
+  };
+
+  /// FNV-1a of the Words configuration name: different Words change the
+  /// persisted node layout (e.g. adjacent counters pad every word), so a
+  /// file must be reopened with the configuration that wrote it.
+  static constexpr std::uint32_t words_tag() noexcept {
+    std::uint32_t h = 2166136261u;
+    for (const char* p = Words::name; *p != '\0'; ++p) {
+      h = (h ^ static_cast<unsigned char>(*p)) * 16777619u;
+    }
+    return h;
+  }
+
+  /// Pool-backed store: build `nshards` fresh shards and a persisted
+  /// superblock in the process-global Pool.
+  Store(std::uint32_t nshards, std::size_t buckets_per_shard) {
+    if (nshards == 0) throw std::invalid_argument("kv::Store: 0 shards");
+    if (buckets_per_shard == 0) {
+      throw std::invalid_argument("kv::Store: 0 buckets per shard");
+    }
+    shards_.reserve(nshards);
+    for (std::uint32_t i = 0; i < nshards; ++i) {
+      shards_.emplace_back(buckets_per_shard);
+    }
+    sb_ = static_cast<Superblock*>(
+        pmem::Pool::instance().alloc(Superblock::bytes(nshards)));
+    sb_->magic = kMagic;
+    sb_->version = kVersion;
+    sb_->nshards = nshards;
+    sb_->generation = 1;
+    sb_->words_tag = words_tag();
+    sb_->node_bytes =
+        static_cast<std::uint32_t>(sizeof(typename Shard_::Table::Node));
+    for (std::uint32_t i = 0; i < nshards; ++i) {
+      sb_->shard_roots[i] = shards_[i].roots();
+    }
+    if constexpr (Words::persistent) {
+      pmem::persist_range(sb_, Superblock::bytes(nshards));
+    }
+  }
+
+  Store(const Store&) = delete;
+  Store& operator=(const Store&) = delete;
+
+  Store(Store&& o) noexcept
+      : shards_(std::move(o.shards_)),
+        sb_(std::exchange(o.sb_, nullptr)),
+        region_(std::move(o.region_)),
+        file_backed_(std::exchange(o.file_backed_, false)) {}
+
+  ~Store() {
+    // close() can throw (msync failure on the backing file); a destructor
+    // must not — swallow and rely on FileRegion::close()'s best-effort
+    // final sync. Callers who need the error call close() explicitly.
+    try {
+      close();
+    } catch (...) {
+    }
+  }
+
+  /// Throw unless `sb` is a superblock this Store version can recover.
+  static void validate_superblock(const Superblock* sb) {
+    if (sb == nullptr || sb->magic != kMagic) {
+      throw IncompatibleStore("kv::Store: superblock magic mismatch");
+    }
+    if (sb->version != kVersion) {
+      throw IncompatibleStore("kv::Store: superblock version mismatch");
+    }
+    if (sb->nshards == 0) {
+      throw IncompatibleStore("kv::Store: corrupt superblock (0 shards)");
+    }
+    if (sb->words_tag != words_tag() ||
+        sb->node_bytes != sizeof(typename Shard_::Table::Node)) {
+      throw IncompatibleStore(
+          "kv::Store: file was written by a different Words configuration "
+          "(node layout mismatch); reopen with the configuration that "
+          "created it");
+    }
+  }
+
+  /// Rebuild a store from a persisted superblock (simulated-crash path, or
+  /// the recovered half of open()). Bumps the generation stamp durably.
+  static Store recover(Superblock* sb) {
+    Store s = recover_handles(sb);
+    bump_generation(sb);
+    return s;
+  }
+
+  /// Open (or create) a file-backed store: the Pool adopts the region and
+  /// the store recovers from (or installs) the superblock in root slot 0.
+  /// An existing file's shard count wins over `nshards`.
+  static Store open(const std::string& path, std::size_t capacity,
+                    std::uint32_t nshards, std::size_t buckets_per_shard) {
+    pmem::FileRegion region = pmem::FileRegion::open(path, capacity);
+    // The allocator mark is header data too: a bit-rotted value past the
+    // region would poison Pool::adopt's chunk round-up (possibly wrapping
+    // to 0 and overwriting committed records). Checked for *any* existing
+    // region — even one whose superblock root was never set takes the
+    // mark into adopt(). Too-small marks are repaired by the recovery
+    // sweep; too-large ones are corruption.
+    if (region.recovered() && region.bump() > region.usable_capacity()) {
+      throw IncompatibleStore("kv::Store: corrupt allocator bump mark");
+    }
+    void* root = region.recovered() ? region.root(kSuperblockSlot) : nullptr;
+    // Validate before the Pool adopts the region: a reject (foreign file,
+    // newer version, corrupt header) must unwind with the global allocator
+    // untouched, not leave it pointing into a mapping this frame is about
+    // to drop. The root offset and everything reached through it are
+    // bounds-checked before the first dereference — a torn or bit-rotted
+    // header must produce the clean throw, not a SIGSEGV.
+    if (root != nullptr) {
+      if (!region_spans(region, root, sizeof(Superblock))) {
+        throw IncompatibleStore("kv::Store: corrupt superblock offset");
+      }
+      auto* sb = static_cast<Superblock*>(root);
+      validate_superblock(sb);
+      validate_region_layout(region, sb);
+    }
+    // Once the Pool has adopted the region, an exception unwinding this
+    // frame would unmap the region under the adopted pool — every later
+    // allocation in the process would fault. Catch, restore a fresh
+    // anonymous pool at the pre-adopt capacity (its contents were already
+    // discarded by the adoption), rethrow. Before adoption (the recovery
+    // handles and the sweep run first — reads only) the existing pool is
+    // healthy and must be left alone.
+    const std::size_t prev_capacity = pmem::Pool::instance().capacity();
+    bool adopted = false;
+    try {
+      if (root != nullptr) {
+        // Recover the handles first (reads only — recovery never
+        // allocates). After a *dirty* shutdown the header's bump mark can
+        // sit below durably committed records (it is only written at
+        // checkpoint()/close(); allocator metadata is not crash-
+        // consistent, the libvmmalloc model) — resuming from it verbatim
+        // would hand their bytes right back out, so rebuild the high-
+        // water mark by sweeping what the shards actually reach. A clean
+        // shutdown left the flag slot set, making the mark authoritative
+        // and the O(data) sweep skippable.
+        Store s = recover_handles(static_cast<Superblock*>(root));
+        std::size_t resume = region.bump();
+        if (region.root(kCleanShutdownSlot) == nullptr) {
+          const auto base =
+              reinterpret_cast<std::uintptr_t>(region.usable_base());
+          const std::uintptr_t limit = base + region.usable_capacity();
+          std::uintptr_t hi = 0;
+          try {
+            hi = s.max_extent(base, limit);
+          } catch (const std::length_error& e) {
+            throw IncompatibleStore(e.what());  // corrupt record length
+          }
+          if (hi > limit) {
+            // A reachable object appearing past the region is bit rot in
+            // a length or pointer field; clamping would only defer the
+            // damage to an inexplicably full allocator.
+            throw IncompatibleStore(
+                "kv::Store: recovered data extends past the region");
+          }
+          const std::size_t swept = hi > base ? hi - base : 0;
+          resume = std::max(resume, swept);
+        }
+        pmem::Pool::instance().adopt(region.usable_base(),
+                                     region.usable_capacity(), resume);
+        adopted = true;
+        s.attach(std::move(region));
+        // Everything that could reject this open has passed; only now
+        // consume a recovery in the durable session stamp.
+        bump_generation(s.sb_);
+        s.region_.set_root(kCleanShutdownSlot, nullptr);  // in use: dirty
+        s.region_.set_bump(pmem::Pool::instance().bump_used());
+        s.region_.sync();  // generation stamp + repaired bump, durable now
+        return s;
+      }
+      // Fresh file (or a region that died before its first superblock
+      // sync — nothing was ever committed, so initializing from scratch
+      // is safe).
+      pmem::Pool::instance().adopt(region.usable_base(),
+                                   region.usable_capacity(), region.bump());
+      adopted = true;
+      Store s(nshards, buckets_per_shard);
+      s.attach(std::move(region));
+      s.region_.set_root(kSuperblockSlot, s.sb_);
+      s.region_.set_bump(pmem::Pool::instance().bump_used());
+      s.region_.sync();
+      return s;
+    } catch (...) {
+      if (adopted) {
+        pmem::Pool::instance().reinit(prev_capacity != 0
+                                          ? prev_capacity
+                                          : pmem::Pool::kDefaultCapacity);
+      }
+      throw;
+    }
+  }
+
+  // --- the KV API ----------------------------------------------------------
+
+  /// Insert or overwrite. Returns true if k was absent (fresh insert).
+  bool put(Key k, std::string_view value) {
+    return shard_for(k).put(k, value);
+  }
+
+  /// Copy out the value for k (nullopt if absent).
+  std::optional<std::string> get(Key k) const {
+    return shard_for(k).get(k);
+  }
+
+  /// Remove k. Returns true if it was present.
+  bool remove(Key k) { return shard_for(k).remove(k); }
+
+  bool contains(Key k) const { return shard_for(k).contains(k); }
+
+  /// Total reachable keys across shards; single-threaded use only.
+  std::size_t size() const {
+    std::size_t n = 0;
+    for (const Shard_& s : shards_) n += s.size();
+    return n;
+  }
+
+  // --- introspection / recovery handles ------------------------------------
+
+  std::uint32_t nshards() const noexcept {
+    return static_cast<std::uint32_t>(shards_.size());
+  }
+  std::uint64_t generation() const noexcept { return sb_->generation; }
+  Superblock* superblock() const noexcept { return sb_; }
+  bool file_backed() const noexcept { return file_backed_; }
+  const Shard_& shard(std::size_t i) const { return shards_[i]; }
+
+  /// Which shard serves key k (stable across sessions).
+  std::size_t shard_index(Key k) const noexcept {
+    // Full splitmix64 mix, deliberately distinct from the table's bucket
+    // hash so shard choice and bucket choice stay uncorrelated.
+    auto x = static_cast<std::uint64_t>(k);
+    x += 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    x ^= x >> 31;
+    return static_cast<std::size_t>(x % shards_.size());
+  }
+
+  /// Persist the allocator high-water mark and sync the backing file so
+  /// everything committed so far is on stable storage (msync-durable
+  /// even on DRAM+disk machines, where pwb/pfence alone reach only the
+  /// page cache). Stop-the-world; file-backed stores only. open()'s
+  /// recovery sweep protects committed records from a dirty shutdown
+  /// regardless, but periodic checkpoints bound the sweep's work and the
+  /// msync exposure window.
+  void checkpoint() {
+    if (!file_backed_) return;
+    region_.set_bump(pmem::Pool::instance().bump_used());
+    region_.sync();
+  }
+
+  /// Quiesce and detach. File-backed: drain reclamation, persist the
+  /// allocator high-water mark, sync and unmap (see the lifetime contract
+  /// above). Pool-backed: just release the volatile handles. Stop-the-
+  /// world; the store is unusable afterwards. Idempotent.
+  void close() {
+    if (sb_ == nullptr) return;
+    for (Shard_& s : shards_) s.release();
+    shards_.clear();
+    // Drain unconditionally: retired Records queued in EBR limbo hold
+    // deleters that would otherwise run later — against pool memory a
+    // reset()/reinit() may have recycled by then.
+    recl::Ebr::instance().drain_all();
+    if (file_backed_) {
+      // Two-phase: the bump mark must be durable *before* the clean flag
+      // declares it authoritative — flag-set with a stale mark would make
+      // the next open() skip the repair sweep and recycle committed
+      // records. (Both live in the header line; independent 8-byte
+      // persists could otherwise land in either order.)
+      region_.set_bump(pmem::Pool::instance().bump_used());
+      region_.sync();
+      region_.set_root(kCleanShutdownSlot, sb_);  // quiesced: mark clean
+      region_.sync();
+      region_.close();
+      file_backed_ = false;
+    }
+    sb_ = nullptr;
+  }
+
+ private:
+  struct RecoverTag {};
+  explicit Store(RecoverTag) noexcept {}
+
+  void attach(pmem::FileRegion&& region) {
+    region_ = std::move(region);
+    file_backed_ = true;
+  }
+
+  /// True if [p, p+len) lies inside the usable part of the region.
+  static bool region_spans(const pmem::FileRegion& region, const void* p,
+                           std::size_t len) noexcept {
+    const auto a = reinterpret_cast<std::uintptr_t>(p);
+    const auto lo = reinterpret_cast<std::uintptr_t>(region.usable_base());
+    const auto hi = lo + region.usable_capacity();
+    // The a <= hi guard keeps hi - a from wrapping for pointers past the
+    // region (a corrupt offset must fail here, not at the dereference).
+    return a >= lo && a <= hi && len <= hi - a;
+  }
+
+  /// Bounds-check everything recovery dereferences on the way to the
+  /// nodes: the superblock extent, each shard's root array (including its
+  /// nbuckets-sized entries), and every bucket's head/tail sentinels.
+  /// This catches torn or bit-rotted headers; interior node corruption
+  /// (next pointers) has no integrity metadata to check against and is
+  /// out of scope, like the rest of the library's recovery model.
+  static void validate_region_layout(const pmem::FileRegion& region,
+                                     const Superblock* sb) {
+    using Roots = typename Shard_::Roots;
+    using Entry = typename Roots::Entry;
+    using Node = typename Shard_::Table::Node;
+    if (!region_spans(region, sb, Superblock::bytes(sb->nshards))) {
+      throw IncompatibleStore("kv::Store: superblock exceeds the region");
+    }
+    for (std::uint32_t i = 0; i < sb->nshards; ++i) {
+      const Roots* roots = sb->shard_roots[i];
+      if (!region_spans(region, roots, sizeof(Roots))) {
+        throw IncompatibleStore("kv::Store: corrupt shard root");
+      }
+      const std::size_t nb = roots->nbuckets;
+      if (nb == 0 || nb > region.usable_capacity() / sizeof(Entry) ||
+          !region_spans(region, roots,
+                        sizeof(Roots) + (nb - 1) * sizeof(Entry))) {
+        throw IncompatibleStore("kv::Store: corrupt shard root array");
+      }
+      for (std::size_t b = 0; b < nb; ++b) {
+        if (!region_spans(region, roots->entries[b].head, sizeof(Node)) ||
+            !region_spans(region, roots->entries[b].tail, sizeof(Node))) {
+          throw IncompatibleStore("kv::Store: corrupt bucket sentinel");
+        }
+      }
+    }
+  }
+
+  /// Validation + volatile-handle reconstruction, with no persistent
+  /// side effects (recovery is read-only until the caller commits).
+  static Store recover_handles(Superblock* sb) {
+    validate_superblock(sb);
+    Store s{RecoverTag{}};
+    s.sb_ = sb;
+    s.shards_.reserve(sb->nshards);
+    for (std::uint32_t i = 0; i < sb->nshards; ++i) {
+      s.shards_.push_back(Shard_::recover(sb->shard_roots[i]));
+    }
+    return s;
+  }
+
+  /// Count this recovery in the session stamp, durably.
+  static void bump_generation(Superblock* sb) {
+    sb->generation += 1;
+    if constexpr (Words::persistent) {
+      pmem::persist_range(&sb->generation, sizeof(sb->generation));
+    }
+  }
+
+  /// One past the highest byte reachable from the superblock: the
+  /// recovery sweep that repairs the allocator bump mark after a dirty
+  /// shutdown. Record pointers/lengths are validated against [lo, limit).
+  /// Single-threaded (open-time) use only.
+  std::uintptr_t max_extent(std::uintptr_t lo, std::uintptr_t limit) const {
+    auto hi = reinterpret_cast<std::uintptr_t>(sb_) +
+              Superblock::bytes(sb_->nshards);
+    for (const Shard_& s : shards_) {
+      hi = std::max(hi, s.max_extent(lo, limit));
+    }
+    return hi;
+  }
+
+  Shard_& shard_for(Key k) noexcept { return shards_[shard_index(k)]; }
+  const Shard_& shard_for(Key k) const noexcept {
+    return shards_[shard_index(k)];
+  }
+
+  std::vector<Shard_> shards_;
+  Superblock* sb_ = nullptr;
+  pmem::FileRegion region_;
+  bool file_backed_ = false;
+};
+
+}  // namespace flit::kv

@@ -1,0 +1,448 @@
+// Recovery tests for the sharded KV store — durability proven two ways:
+//
+//   1. Simulated power failure (kSimCrash): no completed put/remove is
+//      lost across SimMemory::crash(); Store::recover rebuilds every
+//      shard from the superblock and bumps the generation stamp durably.
+//      A VolatileWords negative control shows the harness has teeth.
+//
+//   2. Real restart (FileRegion): a store closed and reopened from its
+//      backing file recovers all shards, every committed record, and the
+//      session-counting generation stamp.
+#include "kv/store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <random>
+#include <string>
+#include <thread>
+#include <fcntl.h>
+#include <unistd.h>
+#include <vector>
+
+#include "pmem/file_region.hpp"
+#include "support/test_common.hpp"
+
+namespace flit::kv {
+namespace {
+
+using flit::test::PmemTest;
+using K = std::int64_t;
+
+/// Deterministic variable-length payload: exercises the record slab on
+/// both sides of the pool's 1024-byte size-class boundary.
+std::string value_for(K k, std::uint64_t salt) {
+  const std::size_t len =
+      1 + static_cast<std::size_t>((static_cast<std::uint64_t>(k) * 131 +
+                                    salt * 257) %
+                                   2048);
+  return std::string(len, static_cast<char>('a' + (k + salt) % 26));
+}
+
+// --- simulated power failure -----------------------------------------------
+
+template <class StoreT>
+class KvCrashTest : public PmemTest {
+ protected:
+  void SetUp() override {
+    PmemTest::SetUp();
+    recl::Ebr::instance().set_reclaim(false);  // no reuse across a crash
+    pmem::Pool::instance().register_with_sim();
+    pmem::set_backend(pmem::Backend::kSimCrash);
+  }
+  void TearDown() override {
+    recl::Ebr::instance().set_reclaim(true);
+    PmemTest::TearDown();
+  }
+};
+
+using CrashConfigs = ::testing::Types<
+    Store<HashedWords, Automatic>, Store<HashedWords, NVTraverse>,
+    Store<HashedWords, Manual>, Store<AdjacentWords, Automatic>,
+    Store<PerLineWords, Automatic>>;
+
+TYPED_TEST_SUITE(KvCrashTest, CrashConfigs);
+
+TYPED_TEST(KvCrashTest, CompletedPutsSurviveSimulatedCrash) {
+  constexpr K kRange = 96;
+  TypeParam kv(4, 64);
+  auto* sb = kv.superblock();
+
+  std::mt19937_64 rng(42);
+  std::map<K, std::string> oracle;
+  for (std::uint64_t i = 0; i < 600; ++i) {
+    const K k = static_cast<K>(rng() % kRange);
+    if (rng() % 3 != 0) {
+      std::string v = value_for(k, i);
+      kv.put(k, v);
+      oracle[k] = std::move(v);
+    } else {
+      kv.remove(k);
+      oracle.erase(k);
+    }
+  }
+
+  pmem::SimMemory::instance().crash();
+  TypeParam recovered = TypeParam::recover(sb);
+  EXPECT_EQ(recovered.generation(), 2u) << "recovery bumps the stamp";
+  for (K k = 0; k < kRange; ++k) {
+    const auto got = recovered.get(k);
+    const auto it = oracle.find(k);
+    if (it == oracle.end()) {
+      EXPECT_EQ(got, std::nullopt) << "key " << k << " was removed";
+    } else {
+      ASSERT_TRUE(got.has_value()) << "committed put of key " << k
+                                   << " lost in the crash";
+      EXPECT_EQ(*got, it->second) << "key " << k;
+    }
+  }
+  EXPECT_EQ(recovered.size(), oracle.size());
+}
+
+TYPED_TEST(KvCrashTest, GenerationStampSurvivesRepeatedCrashes) {
+  constexpr K kRange = 48;
+  TypeParam owner(2, 32);
+  auto* sb = owner.superblock();
+  TypeParam* cur = &owner;
+  std::optional<TypeParam> holder;
+
+  std::mt19937_64 rng(7);
+  std::map<K, std::string> oracle;
+  for (std::uint64_t round = 0; round < 4; ++round) {
+    for (std::uint64_t i = 0; i < 150; ++i) {
+      const K k = static_cast<K>(rng() % kRange);
+      if (rng() % 2 == 0) {
+        std::string v = value_for(k, round * 1000 + i);
+        cur->put(k, v);
+        oracle[k] = std::move(v);
+      } else {
+        cur->remove(k);
+        oracle.erase(k);
+      }
+    }
+    pmem::SimMemory::instance().crash();
+    holder.emplace(TypeParam::recover(sb));
+    cur = &*holder;
+    ASSERT_EQ(cur->generation(), round + 2) << "round " << round;
+    for (const auto& [k, v] : oracle) {
+      const auto got = cur->get(k);
+      ASSERT_TRUE(got.has_value()) << "round " << round << " key " << k;
+      ASSERT_EQ(*got, v) << "round " << round << " key " << k;
+    }
+    ASSERT_EQ(cur->size(), oracle.size()) << "round " << round;
+  }
+}
+
+TYPED_TEST(KvCrashTest, ConcurrentOpsThenCrash) {
+  constexpr K kRange = 128;
+  constexpr int kThreads = 4;
+  TypeParam kv(4, 64);
+  auto* sb = kv.superblock();
+
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&kv, t] {
+      std::mt19937_64 rng(static_cast<std::uint64_t>(t) * 101 + 11);
+      for (std::uint64_t i = 0; i < 1'000; ++i) {
+        const K k = static_cast<K>(rng() % kRange);
+        switch (rng() % 3) {
+          case 0:
+            kv.put(k, value_for(k, i));
+            break;
+          case 1:
+            kv.remove(k);
+            break;
+          default:
+            (void)kv.get(k);
+        }
+      }
+    });
+  }
+  for (auto& th : ts) th.join();  // quiesce: all operations completed
+
+  std::map<K, std::string> before;
+  for (K k = 0; k < kRange; ++k) {
+    if (auto v = kv.get(k)) before[k] = *v;
+  }
+  pmem::SimMemory::instance().crash();
+  TypeParam recovered = TypeParam::recover(sb);
+  for (K k = 0; k < kRange; ++k) {
+    const auto got = recovered.get(k);
+    const auto it = before.find(k);
+    if (it == before.end()) {
+      EXPECT_EQ(got, std::nullopt) << k;
+    } else {
+      ASSERT_TRUE(got.has_value()) << k;
+      EXPECT_EQ(*got, it->second) << k;
+    }
+  }
+}
+
+// --- negative control -------------------------------------------------------
+
+class KvCrashNegativeTest : public KvCrashTest<int> {};
+
+TEST_F(KvCrashNegativeTest, NonPersistentStoreLosesPuts) {
+  using VStore = Store<VolatileWords, Automatic>;
+  VStore kv(2, 32);
+  auto* sb = kv.superblock();
+  // Checkpoint the empty store so the sentinels/superblock survive; the
+  // point under test is the *puts*.
+  pmem::SimMemory::instance().persist_all();
+  for (K k = 0; k < 32; ++k) kv.put(k, "must vanish");
+  pmem::SimMemory::instance().crash();
+  VStore recovered = VStore::recover(sb);
+  EXPECT_EQ(recovered.size(), 0u)
+      << "non-persistent words must lose everything (otherwise this "
+         "harness is vacuous)";
+}
+
+// --- real restart via the file-backed region --------------------------------
+
+class KvFileRecoveryTest : public PmemTest {
+ protected:
+  static std::string temp_path() {
+    return "/tmp/flit_kv_recovery_test_" + std::to_string(::getpid()) +
+           ".pmem";
+  }
+};
+
+TEST_F(KvFileRecoveryTest, ReopenRecoversAllShardsAndGenerationStamp) {
+  using KvStore = Store<HashedWords, Automatic>;
+  const std::string path = temp_path();
+  pmem::FileRegion::destroy(path);
+  constexpr std::size_t kCapacity = 32 << 20;
+  std::map<K, std::string> oracle;
+
+  // Session 1: create, load, overwrite, remove, close.
+  {
+    KvStore kv = KvStore::open(path, kCapacity, 4, 128);
+    EXPECT_TRUE(kv.file_backed());
+    EXPECT_EQ(kv.generation(), 1u);
+    EXPECT_EQ(kv.nshards(), 4u);
+    for (K k = 0; k < 400; ++k) {
+      std::string v = value_for(k, 1);
+      kv.put(k, v);
+      oracle[k] = std::move(v);
+    }
+    for (K k = 0; k < 400; k += 7) {  // overwrites
+      std::string v = value_for(k, 2);
+      kv.put(k, v);
+      oracle[k] = std::move(v);
+    }
+    for (K k = 3; k < 400; k += 11) {  // removes
+      kv.remove(k);
+      oracle.erase(k);
+    }
+    kv.close();
+  }
+  pmem::Pool::instance().reinit(PmemTest::kPoolBytes);
+
+  // Session 2: reopen (shard-count argument must lose to the file's),
+  // verify every committed record, write a second generation of keys.
+  {
+    KvStore kv = KvStore::open(path, kCapacity, 9, 32);
+    EXPECT_TRUE(kv.file_backed());
+    EXPECT_EQ(kv.generation(), 2u) << "one recovery after creation";
+    EXPECT_EQ(kv.nshards(), 4u) << "recovered shard count wins";
+    for (const auto& [k, v] : oracle) {
+      const auto got = kv.get(k);
+      ASSERT_TRUE(got.has_value()) << "key " << k << " lost across restart";
+      EXPECT_EQ(*got, v) << "key " << k;
+    }
+    EXPECT_EQ(kv.size(), oracle.size());
+    for (K k = 1'000; k < 1'200; ++k) {
+      std::string v = value_for(k, 3);
+      kv.put(k, v);
+      oracle[k] = std::move(v);
+    }
+    kv.close();
+  }
+  pmem::Pool::instance().reinit(PmemTest::kPoolBytes);
+
+  // Session 3: both generations of data and a twice-bumped stamp.
+  {
+    KvStore kv = KvStore::open(path, kCapacity, 4, 128);
+    EXPECT_EQ(kv.generation(), 3u);
+    for (const auto& [k, v] : oracle) {
+      const auto got = kv.get(k);
+      ASSERT_TRUE(got.has_value()) << "key " << k;
+      EXPECT_EQ(*got, v) << "key " << k;
+    }
+    EXPECT_EQ(kv.size(), oracle.size());
+    kv.close();
+  }
+  pmem::Pool::instance().reinit(PmemTest::kPoolBytes);
+  pmem::FileRegion::destroy(path);
+}
+
+TEST_F(KvFileRecoveryTest, RejectsAFileFromADifferentWordsConfiguration) {
+  // Words configurations change the persisted node layout (adjacent
+  // counters pad every word), so recovery must reject a cross-
+  // configuration open instead of misreading node bytes. The durability
+  // *method* only changes call-site pflags, so switching it stays legal.
+  using Written = Store<HashedWords, Automatic>;
+  using WrongWords = Store<AdjacentWords, Automatic>;
+  using OtherMethod = Store<HashedWords, NVTraverse>;
+  const std::string path = temp_path();
+  pmem::FileRegion::destroy(path);
+  constexpr std::size_t kCapacity = 8 << 20;
+
+  {
+    Written kv = Written::open(path, kCapacity, 2, 32);
+    kv.put(1, "layout canary");
+    kv.close();
+  }
+  pmem::Pool::instance().reinit(PmemTest::kPoolBytes);
+
+  EXPECT_THROW((void)WrongWords::open(path, kCapacity, 2, 32),
+               std::runtime_error);
+  // The rejecting open must leave the global Pool untouched (validation
+  // precedes adoption): allocation still lands in the test pool.
+  void* p = pmem::Pool::instance().alloc(64);
+  EXPECT_TRUE(pmem::Pool::instance().contains(p));
+
+  {
+    OtherMethod kv = OtherMethod::open(path, kCapacity, 2, 32);
+    EXPECT_EQ(kv.generation(), 2u)
+        << "the failed open must not have consumed a recovery";
+    EXPECT_EQ(kv.get(1), "layout canary");
+    kv.close();
+  }
+  pmem::Pool::instance().reinit(PmemTest::kPoolBytes);
+  pmem::FileRegion::destroy(path);
+}
+
+TEST_F(KvFileRecoveryTest, CorruptRootOffsetThrowsInsteadOfCrashing) {
+  // A torn or bit-rotted header whose root offset points past the file
+  // must produce the clean validation throw, not a wild dereference.
+  using KvStore = Store<HashedWords, Automatic>;
+  const std::string path = temp_path();
+  pmem::FileRegion::destroy(path);
+  constexpr std::size_t kCapacity = 8 << 20;
+  {
+    KvStore kv = KvStore::open(path, kCapacity, 2, 32);
+    kv.put(1, "x");
+    kv.close();
+  }
+  pmem::Pool::instance().reinit(PmemTest::kPoolBytes);
+
+  // Scribble an out-of-region offset into the header's roots[0].
+  {
+    const int fd = ::open(path.c_str(), O_WRONLY);
+    ASSERT_GE(fd, 0);
+    const std::uint64_t bad = kCapacity + 12'345;
+    const auto at =
+        static_cast<off_t>(offsetof(pmem::FileRegion::Header, roots));
+    ASSERT_EQ(::pwrite(fd, &bad, sizeof(bad), at),
+              static_cast<ssize_t>(sizeof(bad)));
+    ::close(fd);
+  }
+  EXPECT_THROW((void)KvStore::open(path, kCapacity, 2, 32),
+               std::runtime_error);
+  pmem::Pool::instance().reinit(PmemTest::kPoolBytes);
+  pmem::FileRegion::destroy(path);
+}
+
+TEST_F(KvFileRecoveryTest, FailedFreshOpenLeavesTheAllocatorUsable) {
+  // Building 16 shards x 4096 buckets cannot fit in a 1 MiB region; the
+  // resulting bad_alloc unwinds open() after the Pool adopted the region.
+  // open() must restore a usable (anonymous) pool before rethrowing —
+  // otherwise every later allocation faults on the unmapped region.
+  using KvStore = Store<HashedWords, Automatic>;
+  const std::string path = temp_path();
+  pmem::FileRegion::destroy(path);
+  EXPECT_THROW((void)KvStore::open(path, 1 << 20, 16, 4'096),
+               std::bad_alloc);
+  void* p = pmem::Pool::instance().alloc(64);
+  ASSERT_NE(p, nullptr);
+  EXPECT_TRUE(pmem::Pool::instance().contains(p));
+  pmem::Pool::instance().reinit(PmemTest::kPoolBytes);
+  pmem::FileRegion::destroy(path);
+}
+
+TEST_F(KvFileRecoveryTest, DirtyShutdownDoesNotClobberCommittedRecords) {
+  // The region header's bump mark is written only at checkpoint()/close()
+  // (allocator metadata is not crash-consistent). A process that dies
+  // without close() leaves the mark stale while durably committed records
+  // sit above it; open()'s recovery sweep must rebuild the high-water
+  // mark so fresh allocations cannot overwrite them.
+  using KvStore = Store<HashedWords, Automatic>;
+  const std::string path = temp_path();
+  pmem::FileRegion::destroy(path);
+  constexpr std::size_t kCapacity = 32 << 20;
+  std::map<K, std::string> oracle;
+
+  // Session 1: establish a cleanly persisted bump mark.
+  {
+    KvStore kv = KvStore::open(path, kCapacity, 4, 64);
+    for (K k = 0; k < 50; ++k) {
+      std::string v = value_for(k, 1);
+      kv.put(k, v);
+      oracle[k] = std::move(v);
+    }
+    kv.close();
+  }
+  pmem::Pool::instance().reinit(PmemTest::kPoolBytes);
+  std::size_t clean_bump = 0;
+  {
+    pmem::FileRegion r = pmem::FileRegion::open(path, kCapacity);
+    clean_bump = r.bump();
+  }
+
+  // Session 2: commit far more data (well past the stale mark), close
+  // cleanly — then rewind the header's bump to session 1's value. The
+  // file now holds exactly the image a dirty shutdown mid-session-2
+  // would have left on fsdax: all records durable, allocator mark stale.
+  {
+    KvStore kv = KvStore::open(path, kCapacity, 4, 64);
+    for (K k = 1'000; k < 1'600; ++k) {
+      std::string v = value_for(k, 2);
+      kv.put(k, v);
+      oracle[k] = std::move(v);
+    }
+    kv.close();
+  }
+  pmem::Pool::instance().reinit(PmemTest::kPoolBytes);
+  {
+    pmem::FileRegion r = pmem::FileRegion::open(path, kCapacity);
+    ASSERT_GT(r.bump(), clean_bump) << "session 2 must have allocated";
+    r.set_bump(clean_bump);
+    // A dirty shutdown also never reaches close()'s clean-flag write;
+    // clear it so open() takes the sweep path instead of trusting the
+    // (now stale) mark.
+    r.set_root(KvStore::kCleanShutdownSlot, nullptr);
+    r.sync();
+  }
+
+  // Session 3: recover, then allocate heavily; every committed record
+  // must survive both the recovery and the new allocations.
+  {
+    KvStore kv = KvStore::open(path, kCapacity, 4, 64);
+    for (const auto& [k, v] : oracle) {
+      const auto got = kv.get(k);
+      ASSERT_TRUE(got.has_value()) << "key " << k << " lost to stale bump";
+      ASSERT_EQ(*got, v) << "key " << k;
+    }
+    for (K k = 10'000; k < 11'000; ++k) {  // force fresh chunk allocations
+      std::string v = value_for(k, 3);
+      kv.put(k, v);
+      oracle[k] = std::move(v);
+    }
+    for (const auto& [k, v] : oracle) {
+      const auto got = kv.get(k);
+      ASSERT_TRUE(got.has_value())
+          << "key " << k << " clobbered by post-recovery allocation";
+      ASSERT_EQ(*got, v) << "key " << k;
+    }
+    kv.close();
+  }
+  pmem::Pool::instance().reinit(PmemTest::kPoolBytes);
+  pmem::FileRegion::destroy(path);
+}
+
+}  // namespace
+}  // namespace flit::kv

@@ -1,0 +1,175 @@
+// Functional tests for the sharded KV store (src/kv/): API semantics,
+// variable-length value records, shard routing, and concurrent mixed use.
+#include "kv/store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <random>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "support/test_common.hpp"
+
+namespace flit::kv {
+namespace {
+
+using flit::test::PmemTest;
+using KvStore = Store<HashedWords, Automatic>;
+
+class KvStoreTest : public PmemTest {};
+
+TEST_F(KvStoreTest, PutGetRemoveRoundTrip) {
+  KvStore kv(4, 64);
+  EXPECT_EQ(kv.get(1), std::nullopt);
+  EXPECT_TRUE(kv.put(1, "one"));
+  EXPECT_EQ(kv.get(1), "one");
+  EXPECT_TRUE(kv.contains(1));
+
+  // Overwrite: not a fresh insert, new value visible afterwards.
+  EXPECT_FALSE(kv.put(1, "uno"));
+  EXPECT_EQ(kv.get(1), "uno");
+
+  EXPECT_TRUE(kv.remove(1));
+  EXPECT_EQ(kv.get(1), std::nullopt);
+  EXPECT_FALSE(kv.remove(1));
+}
+
+TEST_F(KvStoreTest, VariableLengthValuesRoundTrip) {
+  KvStore kv(2, 64);
+  // Lengths straddle the pool's 1024-byte size-class boundary (the value
+  // slab allocates headers + payload from both paths).
+  const std::size_t lens[] = {0, 1, 15, 16, 100, 1000, 1020, 1024, 1025,
+                              4096, 65536};
+  std::int64_t k = 0;
+  for (const std::size_t len : lens) {
+    const std::string v(len, static_cast<char>('a' + (k % 26)));
+    EXPECT_TRUE(kv.put(k, v));
+    const auto got = kv.get(k);
+    ASSERT_TRUE(got.has_value()) << "len " << len;
+    EXPECT_EQ(*got, v) << "len " << len;
+    ++k;
+  }
+  EXPECT_EQ(kv.size(), std::size(lens));
+}
+
+TEST_F(KvStoreTest, OverwriteChangesValueLength) {
+  KvStore kv(2, 64);
+  kv.put(7, std::string(2000, 'x'));
+  kv.put(7, "short");
+  EXPECT_EQ(kv.get(7), "short");
+  kv.put(7, std::string(3000, 'y'));
+  EXPECT_EQ(kv.get(7)->size(), 3000u);
+  EXPECT_EQ(kv.size(), 1u);
+}
+
+TEST_F(KvStoreTest, KeysSpreadAcrossAllShards) {
+  KvStore kv(8, 64);
+  for (std::int64_t k = 0; k < 4'000; ++k) {
+    kv.put(k, "v");
+  }
+  EXPECT_EQ(kv.size(), 4'000u);
+  for (std::size_t i = 0; i < kv.nshards(); ++i) {
+    // Uniform routing: each shard holds 500 ± a wide tolerance.
+    EXPECT_GT(kv.shard(i).size(), 300u) << "shard " << i;
+    EXPECT_LT(kv.shard(i).size(), 700u) << "shard " << i;
+  }
+}
+
+TEST_F(KvStoreTest, ShardRoutingIsStable) {
+  KvStore a(8, 64);
+  KvStore b(8, 64);
+  for (std::int64_t k = 0; k < 100; ++k) {
+    EXPECT_EQ(a.shard_index(k), b.shard_index(k));
+  }
+}
+
+TEST_F(KvStoreTest, ReservedSentinelKeysAreRejected) {
+  // INT64_MIN/MAX are the Harris lists' sentinel keys: put must refuse
+  // them (a put would otherwise corrupt a bucket's tail sentinel), and
+  // reads must treat them as absent rather than matching a sentinel.
+  KvStore kv(2, 64);
+  constexpr std::int64_t kMin = std::numeric_limits<std::int64_t>::min();
+  constexpr std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+  EXPECT_THROW(kv.put(kMin, "x"), std::invalid_argument);
+  EXPECT_THROW(kv.put(kMax, "x"), std::invalid_argument);
+  EXPECT_EQ(kv.get(kMin), std::nullopt);
+  EXPECT_EQ(kv.get(kMax), std::nullopt);
+  EXPECT_FALSE(kv.contains(kMax));
+  EXPECT_FALSE(kv.remove(kMax));
+  // Neighbouring keys are ordinary.
+  EXPECT_TRUE(kv.put(kMax - 1, "edge"));
+  EXPECT_EQ(kv.get(kMax - 1), "edge");
+}
+
+TEST_F(KvStoreTest, FreshStoreHasGenerationOne) {
+  KvStore kv(2, 64);
+  EXPECT_EQ(kv.generation(), 1u);
+  EXPECT_EQ(kv.nshards(), 2u);
+  ASSERT_NE(kv.superblock(), nullptr);
+  EXPECT_EQ(kv.superblock()->magic, KvStore::kMagic);
+}
+
+TEST_F(KvStoreTest, RecoverRejectsCorruptSuperblock) {
+  KvStore kv(2, 64);
+  auto* sb = kv.superblock();
+  const auto saved = sb->magic;
+  sb->magic = 0xBAD;
+  EXPECT_THROW((void)KvStore::recover(sb), std::runtime_error);
+  sb->magic = saved;
+}
+
+TEST_F(KvStoreTest, ConcurrentMixedOpsKeepValuesConsistent) {
+  // Writers only ever store the deterministic pattern for a key; any read
+  // must observe either absence or that exact pattern (never a torn or
+  // cross-wired record).
+  KvStore kv(4, 256);
+  constexpr std::int64_t kRange = 512;
+  constexpr int kThreads = 4;
+  auto value_for = [](std::int64_t k) {
+    return std::string(static_cast<std::size_t>(17 + 13 * (k % 97)),
+                       static_cast<char>('A' + k % 23));
+  };
+
+  std::atomic<std::uint64_t> bad{0};
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&, t] {
+      std::mt19937_64 rng(static_cast<std::uint64_t>(t) * 7919 + 1);
+      for (int i = 0; i < 20'000; ++i) {
+        const auto k = static_cast<std::int64_t>(rng() % kRange);
+        switch (rng() % 4) {
+          case 0:
+            kv.put(k, value_for(k));
+            break;
+          case 1:
+            kv.remove(k);
+            break;
+          default: {
+            const auto v = kv.get(k);
+            if (v && *v != value_for(k)) bad.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : ts) th.join();
+  EXPECT_EQ(bad.load(), 0u) << "reads must never observe torn values";
+
+  // Post-quiescence: store agrees with a sequential sweep oracle.
+  std::size_t present = 0;
+  for (std::int64_t k = 0; k < kRange; ++k) {
+    const auto v = kv.get(k);
+    if (v) {
+      EXPECT_EQ(*v, value_for(k)) << k;
+      ++present;
+    }
+  }
+  EXPECT_EQ(kv.size(), present);
+}
+
+}  // namespace
+}  // namespace flit::kv

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/mman.h>
+
 #include <cstring>
 #include <random>
 #include <thread>
@@ -131,6 +133,66 @@ TEST_F(PoolTest, ConcurrentAllocationsAreDisjoint) {
       const auto* q = reinterpret_cast<std::uint64_t*>(ptrs[t][i]);
       EXPECT_EQ(*q, static_cast<std::uint64_t>(t) << 32 |
                         static_cast<unsigned>(i));
+    }
+  }
+}
+
+TEST_F(PoolTest, AdoptThenResetServesFromTheAdoptedRegion) {
+  // A file-backed store adopts the region, and benches reset() between
+  // phases; the two must compose: reset() rewinds the bump pointer but
+  // keeps serving from the adopted memory, never the old mapping.
+  constexpr std::size_t kCap = 4 << 20;
+  void* region = ::mmap(nullptr, kCap, PROT_READ | PROT_WRITE,
+                        MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  ASSERT_NE(region, MAP_FAILED);
+  Pool& p = Pool::instance();
+
+  p.adopt(region, kCap, /*initial_bump=*/Pool::kChunkSize);
+  EXPECT_EQ(p.base(), region);
+  EXPECT_EQ(p.capacity(), kCap);
+  // Resumed allocation starts at (or after) the recovered high-water mark.
+  auto* a = static_cast<std::byte*>(p.alloc(64));
+  EXPECT_GE(a, static_cast<std::byte*>(region) + Pool::kChunkSize);
+  EXPECT_TRUE(p.contains(a));
+  std::memset(a, 0x5A, 64);
+
+  p.reset();
+  EXPECT_EQ(p.bump_used(), 0u);
+  auto* b = static_cast<std::byte*>(p.alloc(64));
+  EXPECT_TRUE(p.contains(b)) << "reset must keep serving the adopted region";
+  EXPECT_LT(b, static_cast<std::byte*>(region) + Pool::kChunkSize)
+      << "reset rewinds to the start of the adopted region";
+
+  // adopt() must not have unmapped what it does not own on replacement.
+  p.reinit(kPoolBytes);
+  std::memset(region, 0x11, kCap);  // still mapped and writable
+  ::munmap(region, kCap);
+}
+
+TEST_F(PoolTest, LargeBlocksRoundTripAcrossTheSizeClassBoundary) {
+  // The KV value slab allocates records on both sides of the largest size
+  // class (64 * 16 = 1024 bytes): classed blocks recycle through the
+  // per-thread free lists, larger blocks are bump-only. Both paths must
+  // hand back writable, non-overlapping memory across repeated cycles.
+  Pool& p = Pool::instance();
+  ASSERT_EQ(Pool::kNumSizeClasses * Pool::kGranularity, 1024u);
+
+  void* classed = p.alloc(1024);
+  p.dealloc(classed, 1024);
+  EXPECT_EQ(p.alloc(1024), classed)
+      << "1024 bytes is the last classed size and must recycle";
+
+  for (const std::size_t sz : {1025u, 1040u, 4096u, 65536u}) {
+    void* prev = nullptr;
+    for (int i = 0; i < 8; ++i) {
+      auto* q = static_cast<std::byte*>(p.alloc(sz));
+      ASSERT_NE(q, nullptr);
+      EXPECT_TRUE(p.contains(q));
+      EXPECT_NE(q, prev) << "bump-only blocks are never recycled";
+      std::memset(q, static_cast<int>(i), sz);  // fully writable
+      EXPECT_EQ(q[sz - 1], static_cast<std::byte>(i));
+      p.dealloc(q, sz);  // no-op by contract, must stay safe
+      prev = q;
     }
   }
 }
