@@ -43,7 +43,7 @@ namespace {
 KvStore open_or_recreate() {
   try {
     return KvStore::open(kPath, 64 << 20, /*nshards=*/4,
-                         /*buckets_per_shard=*/1'024);
+                         /*capacity_per_shard=*/1'024);
   } catch (const kv::IncompatibleStore& e) {
     // A stale file from an older/incompatible layout (e.g. the pre-KV
     // version of this demo). It's a demo file: start over. Transient

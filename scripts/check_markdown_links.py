@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Check that relative links in the repo's markdown files resolve.
+
+Scans the given markdown files (or every top-level *.md when run without
+arguments) for inline links/images ``[text](target)`` and reference
+definitions ``[ref]: target``, and verifies that every *relative* target
+exists on disk (anchors are stripped; external schemes, mailto and
+in-page anchors are skipped). Exits 1 listing each broken link — this is
+what keeps README/ARCHITECTURE/EXPERIMENTS cross-references valid; it
+runs as the `docs_link_check` CTest entry and as a CI step.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+# [text](target "title") — target may not contain spaces/parens in our docs.
+INLINE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+# [ref]: target
+REFDEF = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+SKIP = ("http://", "https://", "mailto:", "#")
+
+
+def targets(text: str):
+    in_code = False
+    for line in text.splitlines():
+        if line.lstrip().startswith("```"):
+            in_code = not in_code
+            continue
+        if in_code:
+            continue
+        yield from INLINE.findall(line)
+        yield from REFDEF.findall(line)
+
+
+def main(argv):
+    root = Path(__file__).resolve().parent.parent
+    files = [Path(a).resolve() for a in argv] or sorted(root.glob("*.md"))
+    broken = []
+    for md in files:
+        for target in targets(md.read_text(encoding="utf-8")):
+            if target.startswith(SKIP):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:
+                continue
+            if not (md.parent / path).exists():
+                broken.append(f"{md.relative_to(root)}: broken link -> {target}")
+    for b in broken:
+        print(b, file=sys.stderr)
+    checked = ", ".join(str(f.relative_to(root)) for f in files)
+    print(f"checked {len(files)} file(s): {checked}")
+    return 1 if broken else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

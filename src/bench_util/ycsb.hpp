@@ -10,20 +10,29 @@
 //   C 100% read                       zipfian
 //   D  95% read /  5% insert          read-latest (reads skew to the
 //                                     newest inserted keys)
+//   E  95% scan /  5% insert          zipfian start key, short scans
+//                                     (uniform length 1..100)
 //
-// "Update" means put on an existing key; "insert" extends the keyspace.
-// Keys are scrambled (hashed rank) as in YCSB's ScrambledZipfian so the
-// hottest keys are spread across shards and buckets instead of clustering
-// at 0..k.
+// "Update" means put on an existing key; "insert" extends the keyspace;
+// "scan" is an ordered range read of up to `max_scan_len` keys starting
+// at the picked key — it needs a KV with a scan(start, n, out) member
+// (kv::OrderedStore), and run_ycsb rejects mixes with scans on stores
+// without one. Keys are scrambled (hashed rank) as in YCSB's
+// ScrambledZipfian so the hottest keys are spread across shards and
+// buckets instead of clustering at 0..k.
 #pragma once
 
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <concepts>
+#include <cstddef>
 #include <cstdint>
+#include <limits>
 #include <stdexcept>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "bench_util/workload.hpp"
@@ -90,27 +99,35 @@ class Zipfian {
   double theta_, alpha_, zetan_, eta_, zeta2_;
 };
 
-enum class YcsbOp { kRead, kUpdate, kInsert };
+enum class YcsbOp { kRead, kUpdate, kInsert, kScan };
 
 /// One YCSB core-workload mix.
 struct YcsbMix {
   const char* name;
-  double read_frac;    ///< remainder splits update/insert below
+  double read_frac;    ///< remainder splits update/insert/scan below
   double update_frac;  ///< put on an existing key
   double insert_frac;  ///< put on a fresh key (extends the keyspace)
   bool read_latest;    ///< D: reads skew towards recently inserted keys
+  /// E: remaining fraction is ordered scans (needs an ordered store).
+  double scan_frac = 0.0;
+  /// Scan lengths are uniform in [1, max_scan_len] (YCSB default 100).
+  std::uint64_t max_scan_len = 100;
 
   YcsbOp pick(Rng& rng) const noexcept {
     const double r = rng.next_unit();
     if (r < read_frac) return YcsbOp::kRead;
     if (r < read_frac + update_frac) return YcsbOp::kUpdate;
-    return YcsbOp::kInsert;
+    if (r < read_frac + update_frac + insert_frac) return YcsbOp::kInsert;
+    return YcsbOp::kScan;
   }
 
   static constexpr YcsbMix a() { return {"A", 0.50, 0.50, 0.0, false}; }
   static constexpr YcsbMix b() { return {"B", 0.95, 0.05, 0.0, false}; }
   static constexpr YcsbMix c() { return {"C", 1.00, 0.00, 0.0, false}; }
   static constexpr YcsbMix d() { return {"D", 0.95, 0.00, 0.05, true}; }
+  static constexpr YcsbMix e() {
+    return {"E", 0.00, 0.00, 0.05, false, 0.95, 100};
+  }
 };
 
 struct YcsbConfig {
@@ -147,8 +164,9 @@ inline bool ycsb_value_matches(std::int64_t k, const std::string& v,
 
 struct YcsbResult {
   std::uint64_t total_ops = 0;
-  std::uint64_t read_misses = 0;      ///< reads that found no value
-  std::uint64_t value_mismatches = 0; ///< reads whose payload failed verify
+  std::uint64_t read_misses = 0;      ///< reads/scans that found nothing
+  std::uint64_t value_mismatches = 0; ///< payload/order verification fails
+  std::uint64_t scan_entries = 0;     ///< pairs returned across all scans
   double seconds = 0.0;
   pmem::StatsSnapshot persistence;
 
@@ -177,21 +195,33 @@ void ycsb_load(KV& kv, const YcsbConfig& cfg) {
   }
 }
 
-/// Timed run phase. Reads verify the fetched payload's key stamp; the
-/// returned counters give the run teeth (a store that loses or cross-wires
-/// records shows up as misses/mismatches, not just as throughput).
-/// `zipf` must have been built over cfg.record_count — pass one generator
-/// into repeated runs (its construction is O(n)); the two-argument
-/// overload below builds it for one-off calls.
+/// Timed run phase. Reads verify the fetched payload's key stamp; scans
+/// (mix E) additionally verify that returned keys are strictly ascending
+/// and start at or after the requested key. The returned counters give
+/// the run teeth (a store that loses, cross-wires, or mis-orders records
+/// shows up as misses/mismatches, not just as throughput). `zipf` must
+/// have been built over cfg.record_count — pass one generator into
+/// repeated runs (its construction is O(n)); the two-argument overload
+/// below builds it for one-off calls. Throws std::invalid_argument if the
+/// mix contains scans but KV has no scan(start, n, out) member.
 template <class KV>
 YcsbResult run_ycsb(KV& kv, const YcsbConfig& cfg, const Zipfian& zipf) {
+  constexpr bool kHasScan = requires(
+      const KV& c, std::int64_t k, std::size_t n,
+      std::vector<std::pair<std::int64_t, std::string>>& out) {
+    { c.scan(k, n, out) } -> std::convertible_to<std::size_t>;
+  };
+  if (cfg.mix.scan_frac > 0.0 && !kHasScan) {
+    throw std::invalid_argument(
+        "run_ycsb: a scan mix needs an ordered store (kv::OrderedStore)");
+  }
   std::atomic<bool> start{false};
   std::atomic<bool> stop{false};
-  // D's insert frontier: the next fresh key (shared across threads).
+  // D/E's insert frontier: the next fresh key (shared across threads).
   std::atomic<std::uint64_t> frontier{cfg.record_count};
 
   struct PerThread {
-    std::uint64_t ops = 0, misses = 0, mismatches = 0;
+    std::uint64_t ops = 0, misses = 0, mismatches = 0, scanned = 0;
   };
   std::vector<PerThread> per_thread(static_cast<std::size_t>(cfg.threads));
   std::vector<std::thread> workers;
@@ -201,6 +231,7 @@ YcsbResult run_ycsb(KV& kv, const YcsbConfig& cfg, const Zipfian& zipf) {
     workers.emplace_back([&, t] {
       Rng rng(cfg.seed + 0x9000ull * static_cast<std::uint64_t>(t + 1));
       PerThread local;
+      std::vector<std::pair<std::int64_t, std::string>> scan_buf;
       while (!start.load(std::memory_order_acquire)) {
         std::this_thread::yield();
       }
@@ -234,6 +265,26 @@ YcsbResult run_ycsb(KV& kv, const YcsbConfig& cfg, const Zipfian& zipf) {
                 frontier.fetch_add(1, std::memory_order_relaxed));
             kv.put(k, ycsb_value(k, cfg.value_bytes));
             break;
+          case YcsbOp::kScan:
+            if constexpr (kHasScan) {
+              k = static_cast<std::int64_t>(zipf.next_scrambled(rng));
+              const std::size_t len = static_cast<std::size_t>(
+                  1 + rng.next() % cfg.mix.max_scan_len);
+              const std::size_t got = kv.scan(k, len, scan_buf);
+              // The prefilled keyspace is never shrunk by this mix, so a
+              // scan starting at an in-range key must return something.
+              if (got == 0) ++local.misses;
+              std::int64_t prev = std::numeric_limits<std::int64_t>::min();
+              for (const auto& [sk, sv] : scan_buf) {
+                if (sk < k || sk <= prev ||
+                    !ycsb_value_matches(sk, sv, cfg.value_bytes)) {
+                  ++local.mismatches;
+                }
+                prev = sk;
+              }
+              local.scanned += got;
+            }
+            break;
         }
         ++local.ops;
       }
@@ -254,6 +305,7 @@ YcsbResult run_ycsb(KV& kv, const YcsbConfig& cfg, const Zipfian& zipf) {
     r.total_ops += p.ops;
     r.read_misses += p.misses;
     r.value_mismatches += p.mismatches;
+    r.scan_entries += p.scanned;
   }
   r.seconds = std::chrono::duration<double>(t1 - t0).count();
   r.persistence = pmem::stats_snapshot() - before;

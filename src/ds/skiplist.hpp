@@ -134,13 +134,22 @@ class SkipList {
     }
   }
 
-  bool remove(K k) {
+  bool remove(K k) { return remove_get(k).has_value(); }
+
+  /// Remove k, returning the removed value (nullopt if k is absent).
+  /// Values are immutable once a node is published, so the value read
+  /// after the successful bottom-level mark CAS is the unique value this
+  /// removal unlinked — exactly one removal observes it, which lets
+  /// callers own cleanup of value-referenced storage (the KV record slab
+  /// relies on this for EBR retirement of superseded records; see
+  /// HarrisList::remove_get for the same contract).
+  std::optional<V> remove_get(K k) {
     recl::Ebr::Guard g;
     Node* preds[kMaxLevel];
     Node* succs[kMaxLevel];
     if (!find(k, preds, succs)) {
       Words::operation_completion();
-      return false;
+      return std::nullopt;
     }
     Node* victim = succs[0];
     // Mark index levels top-down (helping is idempotent).
@@ -157,15 +166,19 @@ class SkipList {
     for (;;) {
       if (is_marked(succ)) {  // another remover won
         Words::operation_completion();
-        return false;
+        return std::nullopt;
       }
       Node* e = succ;
       if (victim->next[0].cas(e, with_mark(succ), Method::critical_store)) {
+        // Private load: values are immutable once published (and persisted
+        // at node init), and winning the mark CAS means no concurrent
+        // writer exists.
+        const V removed = victim->value.load_private();
         // Physically unlink at every level, then reclaim.
         find(k, preds, succs);
         recl::Ebr::instance().retire(victim, &retire_deleter);
         Words::operation_completion();
-        return true;
+        return removed;
       }
       succ = e;
     }
@@ -220,10 +233,78 @@ class SkipList {
     return n;
   }
 
+  /// Ordered range visit: call f(key, value) for every unmarked node with
+  /// key >= lo, in ascending key order, until f returns false or the tail
+  /// sentinel is reached. Safe under concurrent inserts/removes (the walk
+  /// skips marked nodes wait-free and never helps, like contains); the
+  /// caller should hold an Ebr::Guard across any use it makes of
+  /// value-referenced storage. The visit is not an atomic snapshot: each
+  /// (key, value) read is individually consistent, but keys inserted or
+  /// removed while the walk is in flight may or may not appear. Keys that
+  /// are present for the walk's whole duration are always visited.
+  template <class F>
+  void for_each_range(K lo, F&& f) const {
+    recl::Ebr::Guard g;
+    // Descend to the bottom-level node preceding lo (read-only, no
+    // helping — same wait-free skip of marked nodes as contains()).
+    Node* pred = head_;
+    for (int level = kMaxLevel - 1; level >= 0; --level) {
+      Node* curr = without_mark(pred->next[level].load(Method::traversal_load));
+      for (;;) {
+        Node* succ = curr->next[level].load(Method::traversal_load);
+        while (is_marked(succ)) {
+          curr = without_mark(succ);
+          succ = curr->next[level].load(Method::traversal_load);
+        }
+        if (curr->key.load(Method::traversal_load) < lo) {
+          pred = curr;
+          curr = without_mark(succ);
+        } else {
+          break;
+        }
+      }
+    }
+    // Walk the bottom level, yielding unmarked nodes. The mark check and
+    // the value read use transition loads (flush-if-tagged) so every
+    // emitted pair is durably readable before the operation completes.
+    Node* curr = without_mark(pred->next[0].load(Method::traversal_load));
+    while (curr != tail_) {
+      Node* succ = curr->next[0].load(Method::transition_load);
+      if (!is_marked(succ)) {
+        const K k = curr->key.load(Method::transition_load);
+        if (k >= lo && !f(k, curr->value.load(Method::transition_load))) {
+          break;
+        }
+      }
+      curr = without_mark(succ);
+    }
+    Words::operation_completion();
+  }
+
   // --- crash recovery ------------------------------------------------------
 
   Node* head() const noexcept { return head_; }
   Node* tail() const noexcept { return tail_; }
+
+  /// Disown the nodes: the destructor will no longer free them. Used when
+  /// the structure's bytes outlive this handle (e.g. a file-backed region
+  /// being closed while the persisted nodes stay on disk).
+  void release() noexcept { owns_ = false; }
+
+  /// Visit every bottom-level linked node — sentinels and marked nodes
+  /// included — as f(node, is_marked). Single-threaded use only (recovery
+  /// sweeps that rebuild allocator metadata must see every byte a
+  /// traversal could reach; a *marked* node's value may reference
+  /// already-reclaimed storage, which is why the flag is passed along).
+  template <class F>
+  void for_each_linked(F&& f) const {
+    const Node* c = head_;
+    while (c != nullptr) {
+      const Node* succ = c->next[0].load_private();
+      f(*c, is_marked(succ));
+      c = without_mark(succ);
+    }
+  }
 
   /// Post-crash recovery. The durable set is the bottom level (every
   /// insert/delete linearizes there with p-instructions); the index levels

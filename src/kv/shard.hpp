@@ -1,22 +1,23 @@
-// shard.hpp — one shard of the durable key-value store: a FliT hash table
-// mapping int64 keys to variable-length persistent value records.
+// shard.hpp — one shard of the durable key-value store: a FliT set
+// structure mapping int64 keys to variable-length persistent value
+// records, generic over the backing structure (see backend.hpp).
 //
 // The paper's motivating use case is persistent in-memory indexes and KV
-// stores (§1). The set-structures in src/ds/ carry fixed-width trivially
+// stores (§1). The set structures in src/ds/ carry fixed-width trivially
 // copyable values in their nodes; a KV store needs arbitrary byte-string
 // values. A shard composes the two:
 //
 //   * values live in Records — variable-length blocks in the persistent
 //     pool, fully written and published with a persist_range (one pwb per
-//     cache line + pfence) *before* the table ever points at them, so a
-//     record reachable from a persisted table link is always intact;
-//   * the hash table stores Record* and provides durable linearizability
-//     of the key→record mapping via the Words×Method grid, exactly like
-//     the paper's evaluated structures;
+//     cache line + pfence) *before* the structure ever points at them, so
+//     a record reachable from a persisted link is always intact;
+//   * the backend structure stores Record* and provides durable
+//     linearizability of the key→record mapping via the Words×Method
+//     grid, exactly like the paper's evaluated structures;
 //   * a superseded or removed record is retired through EBR by whichever
-//     operation uniquely unlinked it (HarrisList::remove_get returns the
-//     value observed at the mark CAS), so concurrent readers copying the
-//     record's bytes under an Ebr::Guard never see freed memory.
+//     operation uniquely unlinked it (the backend's remove_get returns
+//     the value observed at the mark CAS), so concurrent readers copying
+//     the record's bytes under an Ebr::Guard never see freed memory.
 //
 // Overwrite semantics: node values are immutable (that immutability is
 // what makes remove_get's retirement unique), so put-over-existing-key is
@@ -25,6 +26,7 @@
 // style stores, documented at the Store API.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
@@ -33,12 +35,23 @@
 #include <stdexcept>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
-#include "ds/hash_table.hpp"
 #include "pmem/pool.hpp"
 #include "recl/ebr.hpp"
 
 namespace flit::kv {
+
+/// The persisted image exists but cannot be recovered by this Store
+/// instantiation: wrong magic/version, a different Words configuration's
+/// node layout, a different backend layout (hashed vs ordered), or a
+/// corrupt header. Distinct from transient system errors (which surface
+/// as plain std::runtime_error from FileRegion) so callers can decide to
+/// recreate only when the file itself is the problem.
+struct IncompatibleStore : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
 
 /// A persistent variable-length value record. Header plus `len` payload
 /// bytes, allocated as one block from the persistent pool.
@@ -83,22 +96,32 @@ struct Record {
   static constexpr std::size_t kMaxValueBytes = std::size_t{1} << 26;
 };
 
-/// One hash-partitioned shard: a FliT hash table over a value-record slab.
-template <class Words = HashedWords, class Method = Automatic>
+/// One shard of the store: a FliT set structure (the Backend — see
+/// backend.hpp for the contract) over a value-record slab. Thread-safe
+/// for put/get/remove/contains/scan; the recovery members are
+/// single-threaded (open/recover-time) only.
+template <class Backend>
 class Shard {
  public:
   using Key = std::int64_t;
-  using Table = ds::HashTable<Key, Record*, Words, Method>;
+  using Backend_ = Backend;
+  using Node = typename Backend::Node;
   /// Persistent recovery root of a shard (stored in the Store superblock).
-  using Roots = typename Table::Roots;
+  using Roots = typename Backend::Roots;
 
-  explicit Shard(std::size_t nbuckets) : table_(nbuckets) {}
+  static constexpr bool kOrdered = Backend::kOrdered;
+
+  /// Fresh shard. `capacity_hint` sizes the backend (bucket count for the
+  /// hashed backend; ignored by the skiplist).
+  explicit Shard(std::size_t capacity_hint) : backend_(capacity_hint) {}
 
   Shard(const Shard&) = delete;
   Shard& operator=(const Shard&) = delete;
-  Shard(Shard&&) noexcept = default;
+  Shard(Shard&& o) noexcept
+      : backend_(std::move(o.backend_)),
+        approx_size_(o.approx_size_.load(std::memory_order_relaxed)) {}
 
-  /// Keys the underlying Harris lists reserve for their sentinel nodes.
+  /// Keys the underlying structures reserve for their sentinel nodes.
   /// put() rejects them; get/contains/remove treat them as always absent
   /// (they can never have been stored).
   static constexpr bool reserved_key(Key k) noexcept {
@@ -107,25 +130,33 @@ class Shard {
   }
 
   /// Insert or overwrite. Returns true if k was absent (fresh insert).
+  /// Durability: the record is fully persisted before the backend links
+  /// it, and the link itself is durably linearizable per Words×Method. An
+  /// overwrite is remove + insert (see the file comment); each half is
+  /// individually durable. Throws std::invalid_argument on a reserved
+  /// sentinel key, std::length_error past Record::kMaxValueBytes, and
+  /// std::bad_alloc on a full pool (the unpublished record is freed).
   bool put(Key k, std::string_view value) {
     if (reserved_key(k)) {
       throw std::invalid_argument("kv: INT64_MIN/INT64_MAX are reserved");
     }
     // No guard here: the record is thread-private until insert publishes
-    // it, the table operations pin their own epochs, and pinning across
+    // it, the backend operations pin their own epochs, and pinning across
     // a large value's copy + per-line flush would stall reclamation
     // everywhere else.
-    Record* rec = Record::create<Words::persistent>(value);
+    Record* rec = Record::create<Backend::kPersistent>(value);
     bool fresh = true;
     try {
-      while (!table_.insert(k, rec)) {
+      while (!backend_.insert(k, rec)) {
         // Key present: unlink the old pairing and retry the insert.
         // Whoever wins the mark CAS owns retiring the superseded record.
-        if (std::optional<Record*> old = table_.remove_get(k)) {
+        if (std::optional<Record*> old = backend_.remove_get(k)) {
+          approx_size_.fetch_sub(1, std::memory_order_relaxed);
           Record::retire(*old);
           fresh = false;
         }
       }
+      approx_size_.fetch_add(1, std::memory_order_relaxed);
     } catch (...) {
       // insert's node allocation can throw on a near-full pool; rec was
       // never published, so free it immediately rather than leak it.
@@ -141,15 +172,18 @@ class Shard {
   std::optional<std::string> get(Key k) const {
     if (reserved_key(k)) return std::nullopt;
     recl::Ebr::Guard g;
-    const std::optional<Record*> rec = table_.find(k);
+    const std::optional<Record*> rec = backend_.find(k);
     if (!rec) return std::nullopt;
     return std::string((*rec)->view());
   }
 
-  /// Remove k. Returns true if it was present.
+  /// Remove k. Returns true if it was present; the removal is durably
+  /// linearized at the backend's mark CAS and the record is retired
+  /// through EBR by this (unique) winner.
   bool remove(Key k) {
     if (reserved_key(k)) return false;
-    if (std::optional<Record*> old = table_.remove_get(k)) {
+    if (std::optional<Record*> old = backend_.remove_get(k)) {
+      approx_size_.fetch_sub(1, std::memory_order_relaxed);
       Record::retire(*old);
       return true;
     }
@@ -157,65 +191,103 @@ class Shard {
   }
 
   bool contains(Key k) const {
-    return !reserved_key(k) && table_.contains(k);
+    return !reserved_key(k) && backend_.contains(k);
   }
 
-  /// Reachable keys; single-threaded use only (like HashTable::size).
-  std::size_t size() const { return table_.size(); }
+  /// Approximate key count, O(1): a relaxed counter bumped at each
+  /// linearized insert/remove. Exact whenever the shard is quiescent
+  /// (every linearized operation is counted exactly once); under
+  /// concurrency it may transiently run ahead of or behind the reachable
+  /// count — in particular an in-flight overwrite dips it by one between
+  /// its remove and insert halves. Rebuilt by an O(data) sweep on
+  /// recovery. See ARCHITECTURE.md for the accuracy contract.
+  std::size_t size() const noexcept {
+    const auto n = approx_size_.load(std::memory_order_relaxed);
+    return n > 0 ? static_cast<std::size_t>(n) : 0;
+  }
 
-  std::size_t bucket_count() const noexcept { return table_.bucket_count(); }
+  /// Ordered backends only: append up to `limit` live pairs with key >=
+  /// lo to `out`, in ascending key order; returns how many were added.
+  /// One Ebr::Guard spans the whole walk, so every copied record is safe
+  /// from reclamation. Not an atomic snapshot: concurrent inserts/removes
+  /// may or may not appear, but keys present for the whole call are
+  /// always returned, and returned pairs are individually consistent
+  /// (payload matches key, per the record immutability argument of get).
+  std::size_t scan(Key lo, std::size_t limit,
+                   std::vector<std::pair<Key, std::string>>& out) const
+    requires(Backend::kOrdered)
+  {
+    if (limit == 0) return 0;
+    recl::Ebr::Guard g;
+    std::size_t added = 0;
+    backend_.for_each_range(lo, [&](Key k, Record* r) {
+      out.emplace_back(k, std::string(r->view()));
+      return ++added < limit;
+    });
+    return added;
+  }
 
   // --- crash recovery ------------------------------------------------------
 
-  Roots* roots() const noexcept { return table_.roots(); }
+  Roots* roots() const noexcept { return backend_.roots(); }
 
-  /// Rebuild a non-owning shard handle from its persisted table roots.
+  /// Rebuild a non-owning shard handle from its persisted roots and
+  /// re-count the reachable keys (the O(1) size counter is volatile).
+  /// Single-threaded; the caller (Store) has already bounds-checked the
+  /// roots via Backend::validate_roots.
   static Shard recover(Roots* roots) {
-    return Shard(Table::recover(roots));
+    Shard s(Backend::recover(roots));
+    s.approx_size_.store(
+        static_cast<std::ptrdiff_t>(s.backend_.count()),
+        std::memory_order_relaxed);
+    return s;
   }
 
   /// Disown the persisted nodes (file-backed stores closing the region).
-  void release() noexcept { table_.release(); }
+  void release() noexcept { backend_.release(); }
 
-  /// One past the highest byte reachable from this shard: root array,
-  /// every linked node, and every *live* record. A marked node's record
-  /// was already retired (possibly reclaimed and reused before the
-  /// crash), so its pointer may dangle — exactly why traversals never
-  /// read marked values — and it is excluded here the same way. Live
-  /// record pointers and lengths are validated against [lo, limit)
-  /// before the first dereference (std::length_error on bit rot); node
-  /// pointer corruption has no integrity metadata and stays out of
-  /// scope. Single-threaded recovery use only.
+  /// One past the highest byte reachable from this shard: roots, every
+  /// linked node, and every *live* record. A marked node's record was
+  /// already retired (possibly reclaimed and reused before the crash), so
+  /// its pointer may dangle — exactly why traversals never read marked
+  /// values — and it is excluded here the same way. Live record pointers
+  /// and lengths are validated against [lo, limit) before the first
+  /// dereference (std::length_error on bit rot); node pointer corruption
+  /// has no integrity metadata and stays out of scope. Single-threaded
+  /// recovery use only.
   std::uintptr_t max_extent(std::uintptr_t lo, std::uintptr_t limit) const {
-    std::uintptr_t hi = table_.roots_extent();
-    table_.for_each_linked(
-        [&hi, lo, limit](const typename Table::Node& n, bool marked) {
-          const auto node_end =
-              reinterpret_cast<std::uintptr_t>(&n) + sizeof(n);
-          if (node_end > hi) hi = node_end;
-          const Record* r = n.value.load_private();
-          if (marked || r == nullptr) return;  // sentinel or retired value
-          const auto ra = reinterpret_cast<std::uintptr_t>(r);
-          if (ra < lo || ra + sizeof(Record) > limit) {
-            throw std::length_error(
-                "kv: record pointer outside the region");
-          }
-          if (r->len > Record::kMaxValueBytes) {
-            // A live record's length is bounded at creation; anything
-            // larger is bit rot, and trusting it would poison the
-            // rebuilt allocator mark.
-            throw std::length_error("kv: corrupt record length");
-          }
-          const auto rec_end = ra + Record::bytes(r->len);
-          if (rec_end > hi) hi = rec_end;
-        });
+    std::uintptr_t hi = backend_.roots_extent();
+    backend_.for_each_linked([&hi, lo, limit](const Node& n, bool marked) {
+      const auto na = reinterpret_cast<std::uintptr_t>(&n);
+      const std::size_t nb = Backend::node_bytes(n);  // validates layout
+      if (na >= limit || nb > limit - na) {
+        throw std::length_error("kv: node extends past the region");
+      }
+      if (na + nb > hi) hi = na + nb;
+      const Record* r = n.value.load_private();
+      if (marked || r == nullptr) return;  // sentinel or retired value
+      const auto ra = reinterpret_cast<std::uintptr_t>(r);
+      if (ra < lo || ra + sizeof(Record) > limit) {
+        throw std::length_error("kv: record pointer outside the region");
+      }
+      if (r->len > Record::kMaxValueBytes) {
+        // A live record's length is bounded at creation; anything larger
+        // is bit rot, and trusting it would poison the rebuilt allocator
+        // mark.
+        throw std::length_error("kv: corrupt record length");
+      }
+      const auto rec_end = ra + Record::bytes(r->len);
+      if (rec_end > hi) hi = rec_end;
+    });
     return hi;
   }
 
  private:
-  explicit Shard(Table&& t) noexcept : table_(std::move(t)) {}
+  explicit Shard(Backend&& b) noexcept : backend_(std::move(b)) {}
 
-  Table table_;
+  Backend backend_;
+  /// Linearized inserts minus removes; see size().
+  std::atomic<std::ptrdiff_t> approx_size_{0};
 };
 
 }  // namespace flit::kv

@@ -1,13 +1,28 @@
 // store.hpp — the sharded durable key-value store.
 //
-// N kv::Shards (each a FliT hash table + value-record slab, see shard.hpp)
-// behind one get/put/remove API, hash-partitioned by key. Everything
-// recovery needs hangs off one persistent *superblock*:
+// N kv::Shards (each a FliT set structure + value-record slab, see
+// shard.hpp / backend.hpp) behind one get/put/remove API. The store is
+// generic over the backing structure via the backend concept:
 //
-//   Superblock { magic, version, nshards, generation, shard_roots[] }
+//   * Store<Words, Method>                  — hash-partitioned shards over
+//     FliT hash tables (HashBackend); keys route by a splitmix64 hash.
+//   * OrderedStore<Words, Method>           — range-partitioned shards
+//     over lock-free skiplists (OrderedBackend); keys route by position
+//     in a persisted key range, which keeps shard ranges disjoint and
+//     ordered, so Store::scan(start, n) can merge an ordered range scan
+//     across shard boundaries by simple concatenation.
 //
-// allocated in the persistent pool and persisted before use. The store
-// runs in two placements:
+// Everything recovery needs hangs off one persistent *superblock*:
+//
+//   Superblock { magic, version, nshards, generation,
+//                words_tag, layout_tag, node_bytes,
+//                key_lo, key_hi, shard_roots[] }
+//
+// allocated in the persistent pool and persisted before use. The
+// layout_tag (a hash of the backend's layout name) is what rejects a
+// cross-layout open: a file written by an ordered store cannot be
+// misread by a hashed one, and vice versa. The store runs in two
+// placements:
 //
 //   * pool-backed  — Store(nshards, buckets): superblock and all data live
 //     in the process-global Pool. Used by benchmarks and by the simulated-
@@ -37,7 +52,9 @@
 // removed, new one not yet committed) even though the put never
 // returned. Each half is individually durable — no *returned* operation
 // is ever lost. Closing this window with an atomic in-place overwrite is
-// a ROADMAP item. size() is a single-threaded sweep.
+// a ROADMAP item. scan() is ordered but not an atomic snapshot (see the
+// method comment); size() is an O(1) approximate counter, exact at
+// quiescence (see Shard::size and ARCHITECTURE.md).
 //
 // Lifetime contract: a Store handle is volatile; the persistent bytes are
 // not owned by it. Destroying a pool-backed store releases the handles and
@@ -51,6 +68,7 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <limits>
 #include <optional>
 #include <stdexcept>
 #include <string>
@@ -58,29 +76,39 @@
 #include <utility>
 #include <vector>
 
+#include "kv/backend.hpp"
 #include "kv/shard.hpp"
 #include "pmem/file_region.hpp"
 #include "pmem/pool.hpp"
 
 namespace flit::kv {
 
-/// The file exists but cannot be recovered by this Store instantiation:
-/// wrong magic/version, a different Words configuration's node layout, or
-/// a corrupt header. Distinct from transient system errors (which surface
-/// as plain std::runtime_error from FileRegion) so callers can decide to
-/// recreate only when the file itself is the problem.
-struct IncompatibleStore : std::runtime_error {
-  using std::runtime_error::runtime_error;
+/// Half-open key interval [lo, hi) an ordered store partitions across its
+/// shards. Persisted in the superblock (routing must be stable across
+/// sessions). Keys outside the range still work — routing clamps them to
+/// the first/last shard, which keeps the per-shard ranges monotone and
+/// scans globally sorted — but a range matching the workload's keyspace
+/// spreads load evenly. Ignored by hashed stores.
+struct KeyRange {
+  std::int64_t lo = std::numeric_limits<std::int64_t>::min();
+  std::int64_t hi = std::numeric_limits<std::int64_t>::max();
 };
 
-template <class Words = HashedWords, class Method = Automatic>
+template <class Words = HashedWords, class Method = Automatic,
+          template <class, class> class BackendT = HashBackend>
 class Store {
  public:
   using Key = std::int64_t;
-  using Shard_ = Shard<Words, Method>;
+  using Backend_ = BackendT<Words, Method>;
+  using Shard_ = Shard<Backend_>;
+
+  /// True for OrderedStore: range-partitioned shards with scan() support.
+  static constexpr bool kOrdered = Backend_::kOrdered;
 
   static constexpr std::uint64_t kMagic = 0xF117'4B56'0000'0001ull;
-  static constexpr std::uint32_t kVersion = 1;
+  /// Bumped when the superblock layout changes; v2 added the backend
+  /// layout tag and the ordered partition bounds.
+  static constexpr std::uint32_t kVersion = 2;
   /// FileRegion root slot holding the superblock.
   static constexpr std::size_t kSuperblockSlot = 0;
   /// Root slot doubling as a clean-shutdown flag: non-null only between a
@@ -98,7 +126,11 @@ class Store {
     std::uint32_t nshards;
     std::uint64_t generation;  ///< sessions: 1 at creation, +1 per recovery
     std::uint32_t words_tag;   ///< hash of Words::name (layout guard)
-    std::uint32_t node_bytes;  ///< sizeof(Table::Node) (layout guard)
+    std::uint32_t layout_tag;  ///< hash of Backend::kLayoutName (ditto)
+    std::uint32_t node_bytes;  ///< sizeof(Backend::Node) (layout guard)
+    std::uint32_t reserved;    ///< alignment; zero
+    std::int64_t key_lo;       ///< ordered partition bounds [key_lo,
+    std::int64_t key_hi;       ///<   key_hi); full range when hashed
     typename Shard_::Roots* shard_roots[1];  // flexible-array idiom
 
     static std::size_t bytes(std::uint32_t nshards) noexcept {
@@ -107,27 +139,41 @@ class Store {
     }
   };
 
-  /// FNV-1a of the Words configuration name: different Words change the
-  /// persisted node layout (e.g. adjacent counters pad every word), so a
-  /// file must be reopened with the configuration that wrote it.
-  static constexpr std::uint32_t words_tag() noexcept {
+  /// FNV-1a of a configuration name; different Words change the persisted
+  /// node layout (e.g. adjacent counters pad every word) and different
+  /// backends change the node type entirely, so a file must be reopened
+  /// with the configuration that wrote it.
+  static constexpr std::uint32_t fnv1a(const char* s) noexcept {
     std::uint32_t h = 2166136261u;
-    for (const char* p = Words::name; *p != '\0'; ++p) {
+    for (const char* p = s; *p != '\0'; ++p) {
       h = (h ^ static_cast<unsigned char>(*p)) * 16777619u;
     }
     return h;
   }
+  static constexpr std::uint32_t words_tag() noexcept {
+    return fnv1a(Words::name);
+  }
+  static constexpr std::uint32_t layout_tag() noexcept {
+    return fnv1a(Backend_::kLayoutName);
+  }
 
   /// Pool-backed store: build `nshards` fresh shards and a persisted
-  /// superblock in the process-global Pool.
-  Store(std::uint32_t nshards, std::size_t buckets_per_shard) {
+  /// superblock in the process-global Pool. `capacity_per_shard` sizes
+  /// each backend (buckets for hashed shards; ignored by ordered ones).
+  /// `range` sets an ordered store's persisted partition bounds (see
+  /// KeyRange); hashed stores ignore it.
+  Store(std::uint32_t nshards, std::size_t capacity_per_shard,
+        KeyRange range = {}) {
     if (nshards == 0) throw std::invalid_argument("kv::Store: 0 shards");
-    if (buckets_per_shard == 0) {
-      throw std::invalid_argument("kv::Store: 0 buckets per shard");
+    if (capacity_per_shard == 0) {
+      throw std::invalid_argument("kv::Store: 0 capacity per shard");
+    }
+    if (range.lo >= range.hi) {
+      throw std::invalid_argument("kv::Store: empty key range");
     }
     shards_.reserve(nshards);
     for (std::uint32_t i = 0; i < nshards; ++i) {
-      shards_.emplace_back(buckets_per_shard);
+      shards_.emplace_back(capacity_per_shard);
     }
     sb_ = static_cast<Superblock*>(
         pmem::Pool::instance().alloc(Superblock::bytes(nshards)));
@@ -136,14 +182,18 @@ class Store {
     sb_->nshards = nshards;
     sb_->generation = 1;
     sb_->words_tag = words_tag();
-    sb_->node_bytes =
-        static_cast<std::uint32_t>(sizeof(typename Shard_::Table::Node));
+    sb_->layout_tag = layout_tag();
+    sb_->node_bytes = static_cast<std::uint32_t>(sizeof(typename Shard_::Node));
+    sb_->reserved = 0;
+    sb_->key_lo = range.lo;
+    sb_->key_hi = range.hi;
     for (std::uint32_t i = 0; i < nshards; ++i) {
       sb_->shard_roots[i] = shards_[i].roots();
     }
     if constexpr (Words::persistent) {
       pmem::persist_range(sb_, Superblock::bytes(nshards));
     }
+    init_routing();
   }
 
   Store(const Store&) = delete;
@@ -153,7 +203,8 @@ class Store {
       : shards_(std::move(o.shards_)),
         sb_(std::exchange(o.sb_, nullptr)),
         region_(std::move(o.region_)),
-        file_backed_(std::exchange(o.file_backed_, false)) {}
+        file_backed_(std::exchange(o.file_backed_, false)),
+        range_chunk_(o.range_chunk_) {}
 
   ~Store() {
     // close() can throw (msync failure on the backing file); a destructor
@@ -165,7 +216,10 @@ class Store {
     }
   }
 
-  /// Throw unless `sb` is a superblock this Store version can recover.
+  /// Throw IncompatibleStore unless `sb` is a superblock this Store
+  /// instantiation can recover: right magic/version, same backend layout
+  /// (hashed vs ordered — the layout tag), same Words configuration (node
+  /// byte layout), sane shard count and partition bounds.
   static void validate_superblock(const Superblock* sb) {
     if (sb == nullptr || sb->magic != kMagic) {
       throw IncompatibleStore("kv::Store: superblock magic mismatch");
@@ -176,17 +230,29 @@ class Store {
     if (sb->nshards == 0) {
       throw IncompatibleStore("kv::Store: corrupt superblock (0 shards)");
     }
+    if (sb->layout_tag != layout_tag()) {
+      throw IncompatibleStore(
+          "kv::Store: file was written by a different backend layout "
+          "(hashed vs ordered); reopen with the store type that created "
+          "it");
+    }
     if (sb->words_tag != words_tag() ||
-        sb->node_bytes != sizeof(typename Shard_::Table::Node)) {
+        sb->node_bytes != sizeof(typename Shard_::Node)) {
       throw IncompatibleStore(
           "kv::Store: file was written by a different Words configuration "
           "(node layout mismatch); reopen with the configuration that "
           "created it");
     }
+    if (sb->key_lo >= sb->key_hi) {
+      throw IncompatibleStore("kv::Store: corrupt partition bounds");
+    }
   }
 
   /// Rebuild a store from a persisted superblock (simulated-crash path, or
   /// the recovered half of open()). Bumps the generation stamp durably.
+  /// Ordered shards additionally repair their skiplist index levels from
+  /// the durable bottom level (see SkipList::recover), and every shard
+  /// re-counts its keys for the O(1) size counter.
   static Store recover(Superblock* sb) {
     Store s = recover_handles(sb);
     bump_generation(sb);
@@ -195,9 +261,14 @@ class Store {
 
   /// Open (or create) a file-backed store: the Pool adopts the region and
   /// the store recovers from (or installs) the superblock in root slot 0.
-  /// An existing file's shard count wins over `nshards`.
+  /// An existing file's shard count and partition bounds win over the
+  /// `nshards`/`range` arguments. Throws IncompatibleStore when the file
+  /// exists but was written by a different store configuration or has a
+  /// corrupt header — in that case (and on any other throw) the global
+  /// Pool is left usable.
   static Store open(const std::string& path, std::size_t capacity,
-                    std::uint32_t nshards, std::size_t buckets_per_shard) {
+                    std::uint32_t nshards, std::size_t capacity_per_shard,
+                    KeyRange range = {}) {
     pmem::FileRegion region = pmem::FileRegion::open(path, capacity);
     // The allocator mark is header data too: a bit-rotted value past the
     // region would poison Pool::adopt's chunk round-up (possibly wrapping
@@ -228,21 +299,21 @@ class Store {
     // allocation in the process would fault. Catch, restore a fresh
     // anonymous pool at the pre-adopt capacity (its contents were already
     // discarded by the adoption), rethrow. Before adoption (the recovery
-    // handles and the sweep run first — reads only) the existing pool is
-    // healthy and must be left alone.
+    // handles and the sweep run first — no allocation) the existing pool
+    // is healthy and must be left alone.
     const std::size_t prev_capacity = pmem::Pool::instance().capacity();
     bool adopted = false;
     try {
       if (root != nullptr) {
-        // Recover the handles first (reads only — recovery never
-        // allocates). After a *dirty* shutdown the header's bump mark can
-        // sit below durably committed records (it is only written at
-        // checkpoint()/close(); allocator metadata is not crash-
-        // consistent, the libvmmalloc model) — resuming from it verbatim
-        // would hand their bytes right back out, so rebuild the high-
-        // water mark by sweeping what the shards actually reach. A clean
-        // shutdown left the flag slot set, making the mark authoritative
-        // and the O(data) sweep skippable.
+        // Recover the handles first (no allocation; ordered shards repair
+        // their index levels in place). After a *dirty* shutdown the
+        // header's bump mark can sit below durably committed records (it
+        // is only written at checkpoint()/close(); allocator metadata is
+        // not crash-consistent, the libvmmalloc model) — resuming from it
+        // verbatim would hand their bytes right back out, so rebuild the
+        // high-water mark by sweeping what the shards actually reach. A
+        // clean shutdown left the flag slot set, making the mark
+        // authoritative and the O(data) sweep skippable.
         Store s = recover_handles(static_cast<Superblock*>(root));
         std::size_t resume = region.bump();
         if (region.root(kCleanShutdownSlot) == nullptr) {
@@ -283,7 +354,7 @@ class Store {
       pmem::Pool::instance().adopt(region.usable_base(),
                                    region.usable_capacity(), region.bump());
       adopted = true;
-      Store s(nshards, buckets_per_shard);
+      Store s(nshards, capacity_per_shard, range);
       s.attach(std::move(region));
       s.region_.set_root(kSuperblockSlot, s.sb_);
       s.region_.set_bump(pmem::Pool::instance().bump_used());
@@ -302,22 +373,69 @@ class Store {
   // --- the KV API ----------------------------------------------------------
 
   /// Insert or overwrite. Returns true if k was absent (fresh insert).
+  /// Durably linearizable per Words×Method; an overwrite is remove +
+  /// insert (see the consistency contract above). Throws
+  /// std::invalid_argument on the reserved sentinel keys
+  /// (INT64_MIN/INT64_MAX), std::length_error past Record::kMaxValueBytes,
+  /// std::bad_alloc on a full pool.
   bool put(Key k, std::string_view value) {
     return shard_for(k).put(k, value);
   }
 
-  /// Copy out the value for k (nullopt if absent).
+  /// Copy out the value for k (nullopt if absent). The returned string is
+  /// a private copy taken under an EBR guard — always intact, never torn,
+  /// even against concurrent overwrites of k.
   std::optional<std::string> get(Key k) const {
     return shard_for(k).get(k);
   }
 
-  /// Remove k. Returns true if it was present.
+  /// Remove k. Returns true if it was present. The removal is durable
+  /// before the call returns (per Words×Method).
   bool remove(Key k) { return shard_for(k).remove(k); }
 
   bool contains(Key k) const { return shard_for(k).contains(k); }
 
-  /// Total reachable keys across shards; single-threaded use only.
-  std::size_t size() const {
+  /// Ordered stores only: up to `n` pairs with key >= start, in ascending
+  /// key order, merged across shard boundaries (range partitioning keeps
+  /// shard ranges disjoint and ordered, so the merge is concatenation).
+  /// Each returned pair is individually consistent (the payload is the
+  /// full value some put committed for that key), but the scan as a whole
+  /// is not an atomic snapshot: keys inserted or removed concurrently may
+  /// or may not appear. Keys present for the whole call are always
+  /// returned. After recovery, a scan observes every committed key in
+  /// order.
+  std::vector<std::pair<Key, std::string>> scan(Key start, std::size_t n)
+      const
+    requires(kOrdered)
+  {
+    std::vector<std::pair<Key, std::string>> out;
+    scan(start, n, out);
+    return out;
+  }
+
+  /// Allocation-friendly overload: append up to `n` pairs to `out`
+  /// (cleared first); returns how many were appended.
+  std::size_t scan(Key start, std::size_t n,
+                   std::vector<std::pair<Key, std::string>>& out) const
+    requires(kOrdered)
+  {
+    out.clear();
+    if (n == 0) return 0;
+    std::size_t got = 0;
+    const std::size_t first = shard_index(start);
+    for (std::size_t i = first; i < shards_.size() && got < n; ++i) {
+      // Later shards hold strictly larger keys; scan them from the start.
+      const Key lo = i == first ? start : std::numeric_limits<Key>::min();
+      got += shards_[i].scan(lo, n - got, out);
+    }
+    return got;
+  }
+
+  /// Approximate total key count, O(nshards): sums the per-shard
+  /// counters. Exact at quiescence; under concurrency it may transiently
+  /// deviate by the number of in-flight operations (see Shard::size and
+  /// ARCHITECTURE.md for the accuracy contract).
+  std::size_t size() const noexcept {
     std::size_t n = 0;
     for (const Shard_& s : shards_) n += s.size();
     return n;
@@ -332,17 +450,34 @@ class Store {
   Superblock* superblock() const noexcept { return sb_; }
   bool file_backed() const noexcept { return file_backed_; }
   const Shard_& shard(std::size_t i) const { return shards_[i]; }
+  /// Ordered stores: the persisted partition bounds.
+  KeyRange key_range() const noexcept {
+    return {sb_->key_lo, sb_->key_hi};
+  }
 
-  /// Which shard serves key k (stable across sessions).
+  /// Which shard serves key k (stable across sessions: hashed routing
+  /// depends only on nshards, ordered routing only on the persisted
+  /// partition bounds).
   std::size_t shard_index(Key k) const noexcept {
-    // Full splitmix64 mix, deliberately distinct from the table's bucket
-    // hash so shard choice and bucket choice stay uncorrelated.
-    auto x = static_cast<std::uint64_t>(k);
-    x += 0x9E3779B97F4A7C15ull;
-    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
-    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
-    x ^= x >> 31;
-    return static_cast<std::size_t>(x % shards_.size());
+    if constexpr (kOrdered) {
+      // Range partition: shard i owns the i-th chunk of [key_lo, key_hi);
+      // out-of-range keys clamp to the edge shards. The mapping is
+      // monotone in k, which is what keeps cross-shard scans sorted.
+      if (k < sb_->key_lo) return 0;
+      if (k >= sb_->key_hi) return shards_.size() - 1;
+      const auto off =
+          static_cast<std::uint64_t>(k) - static_cast<std::uint64_t>(sb_->key_lo);
+      return static_cast<std::size_t>(off / range_chunk_);
+    } else {
+      // Full splitmix64 mix, deliberately distinct from the table's bucket
+      // hash so shard choice and bucket choice stay uncorrelated.
+      auto x = static_cast<std::uint64_t>(k);
+      x += 0x9E3779B97F4A7C15ull;
+      x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+      x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+      x ^= x >> 31;
+      return static_cast<std::size_t>(x % shards_.size());
+    }
   }
 
   /// Persist the allocator high-water mark and sync the backing file so
@@ -395,6 +530,17 @@ class Store {
     file_backed_ = true;
   }
 
+  /// Precompute the ordered-routing chunk width. off/chunk stays < n for
+  /// every in-range offset because chunk = ceil-ish(span / n): with
+  /// chunk = span/n + 1, (span-1)/chunk <= n-1.
+  void init_routing() noexcept {
+    if constexpr (kOrdered) {
+      const std::uint64_t span = static_cast<std::uint64_t>(sb_->key_hi) -
+                                 static_cast<std::uint64_t>(sb_->key_lo);
+      range_chunk_ = span / shards_.size() + 1;
+    }
+  }
+
   /// True if [p, p+len) lies inside the usable part of the region.
   static bool region_spans(const pmem::FileRegion& region, const void* p,
                            std::size_t len) noexcept {
@@ -407,41 +553,29 @@ class Store {
   }
 
   /// Bounds-check everything recovery dereferences on the way to the
-  /// nodes: the superblock extent, each shard's root array (including its
-  /// nbuckets-sized entries), and every bucket's head/tail sentinels.
-  /// This catches torn or bit-rotted headers; interior node corruption
-  /// (next pointers) has no integrity metadata to check against and is
-  /// out of scope, like the rest of the library's recovery model.
+  /// nodes: the superblock extent, then each shard's roots via the
+  /// backend's own validator (root arrays + bucket sentinels for hashed
+  /// shards, sentinel towers for ordered ones). This catches torn or
+  /// bit-rotted headers; interior node corruption (next pointers) has no
+  /// integrity metadata to check against and is out of scope, like the
+  /// rest of the library's recovery model.
   static void validate_region_layout(const pmem::FileRegion& region,
                                      const Superblock* sb) {
-    using Roots = typename Shard_::Roots;
-    using Entry = typename Roots::Entry;
-    using Node = typename Shard_::Table::Node;
     if (!region_spans(region, sb, Superblock::bytes(sb->nshards))) {
       throw IncompatibleStore("kv::Store: superblock exceeds the region");
     }
+    const auto spans = [&region](const void* p, std::size_t len) {
+      return region_spans(region, p, len);
+    };
     for (std::uint32_t i = 0; i < sb->nshards; ++i) {
-      const Roots* roots = sb->shard_roots[i];
-      if (!region_spans(region, roots, sizeof(Roots))) {
-        throw IncompatibleStore("kv::Store: corrupt shard root");
-      }
-      const std::size_t nb = roots->nbuckets;
-      if (nb == 0 || nb > region.usable_capacity() / sizeof(Entry) ||
-          !region_spans(region, roots,
-                        sizeof(Roots) + (nb - 1) * sizeof(Entry))) {
-        throw IncompatibleStore("kv::Store: corrupt shard root array");
-      }
-      for (std::size_t b = 0; b < nb; ++b) {
-        if (!region_spans(region, roots->entries[b].head, sizeof(Node)) ||
-            !region_spans(region, roots->entries[b].tail, sizeof(Node))) {
-          throw IncompatibleStore("kv::Store: corrupt bucket sentinel");
-        }
-      }
+      Backend_::validate_roots(sb->shard_roots[i], region.usable_capacity(),
+                               spans);
     }
   }
 
   /// Validation + volatile-handle reconstruction, with no persistent
-  /// side effects (recovery is read-only until the caller commits).
+  /// allocation (ordered shards do repair their skiplist index levels in
+  /// place; recovery otherwise only reads).
   static Store recover_handles(Superblock* sb) {
     validate_superblock(sb);
     Store s{RecoverTag{}};
@@ -450,6 +584,7 @@ class Store {
     for (std::uint32_t i = 0; i < sb->nshards; ++i) {
       s.shards_.push_back(Shard_::recover(sb->shard_roots[i]));
     }
+    s.init_routing();
     return s;
   }
 
@@ -483,6 +618,13 @@ class Store {
   Superblock* sb_ = nullptr;
   pmem::FileRegion region_;
   bool file_backed_ = false;
+  std::uint64_t range_chunk_ = 1;  ///< ordered routing chunk width
 };
+
+/// Range-partitioned ordered store over skiplist shards: everything Store
+/// offers plus scan(start, n) — the YCSB E workload class. Pass a
+/// KeyRange matching the workload's keyspace for even shard load.
+template <class Words = HashedWords, class Method = Automatic>
+using OrderedStore = Store<Words, Method, OrderedBackend>;
 
 }  // namespace flit::kv
