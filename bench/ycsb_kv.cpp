@@ -1,17 +1,26 @@
 // YCSB workloads over the sharded durable KV store (src/kv/).
 //
 // Sweeps the words configurations of the paper's grid (plus the
-// non-persistent baseline) across the YCSB A/B/C/D mixes on the hashed
-// store and the scan-heavy YCSB E mix on the ordered (skiplist-backed)
-// store, NVtraverse method throughout (the paper's production pick for
-// traversal-heavy structures). Emits one CSV row per (words, mix) point
-// as it completes.
+// non-persistent baseline) across the YCSB A/B/C/D/F mixes on the hashed
+// store and the scan-heavy YCSB E mix (plus F again) on the ordered
+// (skiplist-backed) store, NVtraverse method throughout (the paper's
+// production pick for traversal-heavy structures). Emits one CSV row per
+// (words, mix) point as it completes, and a machine-readable
+// BENCH_ycsb_kv.json summary at exit so the perf trajectory can be
+// tracked run over run.
 //
-// Reads verify the fetched payload's key stamp, and scans additionally
-// verify ascending key order; any mismatch fails the run (exit 1), so
-// the CTest smoke entry doubles as an end-to-end correctness check of
-// the KV subsystem under concurrency.
+// Reads verify the fetched payload's key stamp, scans additionally
+// verify ascending key order, and F's read-modify-writes verify the
+// exact payload version their thread last committed (put over an
+// existing key is one atomic value-record CAS — a store that dropped an
+// overwrite shows up as a lost update). Any mismatch, lost update, or
+// miss outside D's read-latest race fails the run (exit 1), so the CTest
+// smoke entry doubles as an end-to-end correctness check of the KV
+// subsystem under concurrency.
 #include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench_util/ycsb.hpp"
 #include "common.hpp"
@@ -22,35 +31,49 @@ namespace {
 using namespace flit;
 using namespace flit::bench;
 
+struct JsonRow {
+  std::string words, mix;
+  double mops, pwbs_per_op;
+  std::uint64_t misses, mismatches, lost_updates;
+};
+
+struct Totals {
+  std::uint64_t mismatches = 0;
+  std::uint64_t lost_records = 0;
+  std::uint64_t lost_updates = 0;
+  std::vector<JsonRow> rows;
+};
+
 template <class KV>
 void run_one(const char* name, KV& store, const YcsbConfig& cfg,
-             const Zipfian& zipf, CsvWriter& csv, Table& table,
-             std::uint64_t& mismatches, std::uint64_t& lost_records) {
+             const Zipfian& zipf, CsvWriter& csv, Table& table, Totals& tot) {
   ycsb_load(store, cfg);
   const YcsbResult r = run_ycsb(store, cfg, zipf);
-  mismatches += r.value_mismatches;
-  // Mixes whose reads can only hit stable prefilled keys must never
-  // miss: under C every key is prefilled, and under E scans start at a
-  // prefilled key and nothing is ever removed. (A/B misses are the
-  // documented put-overwrite gap; D misses are a read-latest read racing
-  // the insert it skewed towards.)
-  if (cfg.mix.update_frac == 0.0 && !cfg.mix.read_latest) {
-    lost_records += r.read_misses;
+  tot.mismatches += r.value_mismatches;
+  tot.lost_updates += r.lost_updates;
+  // With atomic in-place overwrites, every mix whose reads target keys
+  // that are never removed must never miss: A/B/C/F read only prefilled
+  // keys (updates and RMWs replace in place — no visibility gap), and
+  // under E scans start at a prefilled key and nothing is ever removed.
+  // Only D's read-latest reads may race the insert they skewed towards.
+  if (!cfg.mix.read_latest) {
+    tot.lost_records += r.read_misses;
   }
 
   csv.row({name, cfg.mix.name, Table::fmt(r.mops(), 3),
            Table::fmt(r.pwbs_per_op(), 3), Table::fmt_u(r.read_misses),
-           Table::fmt_u(r.value_mismatches)});
+           Table::fmt_u(r.value_mismatches), Table::fmt_u(r.lost_updates)});
   table.add_row({name, cfg.mix.name, Table::fmt(r.mops(), 3),
                  Table::fmt(r.pwbs_per_op(), 3)});
+  tot.rows.push_back({name, cfg.mix.name, r.mops(), r.pwbs_per_op(),
+                      r.read_misses, r.value_mismatches, r.lost_updates});
 }
 
 template <class Words>
 void run_words(const char* name, const YcsbConfig& base, const Zipfian& zipf,
-               CsvWriter& csv, Table& table, std::uint64_t& mismatches,
-               std::uint64_t& lost_records) {
+               CsvWriter& csv, Table& table, Totals& tot) {
   const YcsbMix mixes[] = {YcsbMix::a(), YcsbMix::b(), YcsbMix::c(),
-                           YcsbMix::d()};
+                           YcsbMix::d(), YcsbMix::f()};
   for (const YcsbMix& mix : mixes) {
     recl::Ebr::instance().drain_all();
     pmem::Pool::instance().reset();
@@ -61,26 +84,62 @@ void run_words(const char* name, const YcsbConfig& base, const Zipfian& zipf,
     // 8 shards, sized so chains stay short at the prefilled record count.
     kv::Store<Words, NVTraverse> store(
         8, std::max<std::size_t>(cfg.record_count / 8, 64));
-    run_one(name, store, cfg, zipf, csv, table, mismatches, lost_records);
+    run_one(name, store, cfg, zipf, csv, table, tot);
   }
 
   // YCSB E (95% short ordered scans / 5% inserts) runs on the ordered,
-  // range-partitioned store — the hashed layout cannot serve scans. The
-  // partition range matches the prefilled keyspace plus 1/8 headroom:
-  // the prefill (and the zipfian scan starts) spread across all 8
-  // shards, and the insert frontier grows into the top shard's slack
-  // before clamping there.
-  {
+  // range-partitioned store — the hashed layout cannot serve scans — and
+  // F runs there a second time so the overwrite CAS is verified on both
+  // backends. The partition range matches the prefilled keyspace plus
+  // 1/8 headroom: the prefill (and the zipfian scan starts) spread
+  // across all 8 shards, and the insert frontier grows into the top
+  // shard's slack before clamping there.
+  for (const YcsbMix& mix : {YcsbMix::e(), YcsbMix::f()}) {
     recl::Ebr::instance().drain_all();
     pmem::Pool::instance().reset();
 
     YcsbConfig cfg = base;
-    cfg.mix = YcsbMix::e();
+    cfg.mix = mix;
     const auto rc = static_cast<std::int64_t>(cfg.record_count);
     kv::OrderedStore<Words, NVTraverse> store(8, /*capacity_per_shard=*/64,
                                               kv::KeyRange{0, rc + rc / 8});
-    run_one(name, store, cfg, zipf, csv, table, mismatches, lost_records);
+    const std::string label =
+        std::string(name) + (mix.scan_frac > 0.0 ? "" : "/ordered");
+    run_one(label.c_str(), store, cfg, zipf, csv, table, tot);
   }
+}
+
+/// Write the machine-readable summary next to the CSV stream. One flat
+/// JSON object, no dependencies — the fields mirror the CSV columns.
+void write_json(const char* path, const Totals& tot, std::uint64_t records,
+                int threads, double seconds, bool ok) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::printf("ycsb_kv: warning: cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f,
+               "{\n  \"bench\": \"ycsb_kv\",\n  \"records\": %llu,\n"
+               "  \"threads\": %d,\n  \"seconds_per_point\": %.3f,\n"
+               "  \"ok\": %s,\n  \"rows\": [\n",
+               static_cast<unsigned long long>(records), threads, seconds,
+               ok ? "true" : "false");
+  for (std::size_t i = 0; i < tot.rows.size(); ++i) {
+    const JsonRow& r = tot.rows[i];
+    std::fprintf(
+        f,
+        "    {\"words\": \"%s\", \"mix\": \"%s\", \"mops\": %.4f, "
+        "\"pwbs_per_op\": %.4f, \"misses\": %llu, \"mismatches\": %llu, "
+        "\"lost_updates\": %llu}%s\n",
+        r.words.c_str(), r.mix.c_str(), r.mops, r.pwbs_per_op,
+        static_cast<unsigned long long>(r.misses),
+        static_cast<unsigned long long>(r.mismatches),
+        static_cast<unsigned long long>(r.lost_updates),
+        i + 1 < tot.rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("ycsb_kv: wrote %s\n", path);
 }
 
 }  // namespace
@@ -92,15 +151,14 @@ int main(int argc, char** argv) {
 
   std::printf(
       "# ycsb_kv: records=%llu value=%zuB shards=8 method=%s\n"
-      "# A-D: hashed store; E (scans): ordered skiplist store\n",
+      "# A-D, F: hashed store; E (scans) + F: ordered skiplist store\n",
       static_cast<unsigned long long>(records), value_bytes,
       NVTraverse::name);
 
   Table table({"words", "mix", "Mops", "pwbs/op"});
-  CsvWriter csv("ycsb_kv",
-                {"words", "mix", "Mops", "pwbs/op", "misses", "mismatches"});
-  std::uint64_t mismatches = 0;
-  std::uint64_t lost_records = 0;
+  CsvWriter csv("ycsb_kv", {"words", "mix", "Mops", "pwbs/op", "misses",
+                            "mismatches", "lost_updates"});
+  Totals tot;
 
   YcsbConfig base;
   base.threads = env.threads;
@@ -110,31 +168,32 @@ int main(int argc, char** argv) {
   // One generator for the whole sweep: construction is O(records).
   const Zipfian zipf(base.record_count, base.zipf_theta);
 
-  run_words<HashedWords>("flit-ht", base, zipf, csv, table, mismatches,
-                         lost_records);
-  run_words<AdjacentWords>("flit-adjacent", base, zipf, csv, table,
-                           mismatches, lost_records);
-  run_words<PerLineWords>("flit-perline", base, zipf, csv, table,
-                          mismatches, lost_records);
-  run_words<PlainWords>("plain", base, zipf, csv, table, mismatches,
-                        lost_records);
-  run_words<VolatileWords>("non-persistent", base, zipf, csv, table,
-                           mismatches, lost_records);
+  run_words<HashedWords>("flit-ht", base, zipf, csv, table, tot);
+  run_words<AdjacentWords>("flit-adjacent", base, zipf, csv, table, tot);
+  run_words<PerLineWords>("flit-perline", base, zipf, csv, table, tot);
+  run_words<PlainWords>("plain", base, zipf, csv, table, tot);
+  run_words<VolatileWords>("non-persistent", base, zipf, csv, table, tot);
 
-  table.print("YCSB A-E over the sharded KV store (NVtraverse)");
+  table.print("YCSB A-F over the sharded KV store (NVtraverse)");
   std::printf(
       "\nExpected shape: FliT variants cluster together well above plain\n"
       "and approach the non-persistent ceiling as the read share grows\n"
       "(C > B > A); D sits near B (inserts are rare, reads hit hot\n"
-      "keys). E's op rate is lower than A-D (each op is a multi-key\n"
-      "ordered scan on the skiplist store), but the same FliT-vs-plain\n"
-      "ordering holds.\n");
+      "keys); F sits near A (RMW = read + overwrite put). E's op rate\n"
+      "is lower than A-D (each op is a multi-key ordered scan on the\n"
+      "skiplist store), but the same FliT-vs-plain ordering holds.\n");
 
-  if (mismatches != 0 || lost_records != 0) {
+  const bool ok =
+      tot.mismatches == 0 && tot.lost_records == 0 && tot.lost_updates == 0;
+  write_json("BENCH_ycsb_kv.json", tot, records, env.threads, env.seconds,
+             ok);
+  if (!ok) {
     std::printf(
-        "ycsb_kv: FAILED (%llu value mismatches, %llu lost records)\n",
-                static_cast<unsigned long long>(mismatches),
-                static_cast<unsigned long long>(lost_records));
+        "ycsb_kv: FAILED (%llu value mismatches, %llu lost records, "
+        "%llu lost updates)\n",
+        static_cast<unsigned long long>(tot.mismatches),
+        static_cast<unsigned long long>(tot.lost_records),
+        static_cast<unsigned long long>(tot.lost_updates));
     return 1;
   }
   std::printf("ycsb_kv: OK\n");

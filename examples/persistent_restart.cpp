@@ -23,13 +23,12 @@ constexpr const char* kPath = "/tmp/flit_restart_demo.pmem";
 constexpr std::int64_t kPerGeneration = 1'000;
 // The demo's own metadata lives in the store too: generation g is
 // *completed* iff marker key -(g+1) exists, inserted only after the
-// generation's records are all in. Markers are written exactly once
-// (fresh inserts are single atomic+durable operations — unlike an
-// overwrite, which is remove+insert and could lose the counter to a
-// crash between the halves). The store's generation() stamp counts
-// sessions (bumped at open), so an interrupted run leaves the two
-// different — and the next run simply rewrites the incomplete
-// generation instead of reporting data loss.
+// generation's records are all in — a single atomic+durable operation,
+// like every put (overwrites included, since they became one in-place
+// value CAS). The store's generation() stamp counts sessions (bumped at
+// open), so an interrupted run leaves the two different — and the next
+// run simply rewrites the incomplete generation instead of reporting
+// data loss.
 constexpr std::int64_t marker_key(std::uint64_t g) {
   return -static_cast<std::int64_t>(g) - 1;
 }

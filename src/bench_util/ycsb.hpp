@@ -12,6 +12,8 @@
 //                                     newest inserted keys)
 //   E  95% scan /  5% insert          zipfian start key, short scans
 //                                     (uniform length 1..100)
+//   F  50% read / 50% RMW             zipfian (read-modify-write: get,
+//                                     bump the payload version, put)
 //
 // "Update" means put on an existing key; "insert" extends the keyspace;
 // "scan" is an ordered range read of up to `max_scan_len` keys starting
@@ -20,6 +22,15 @@
 // without one. Keys are scrambled (hashed rank) as in YCSB's
 // ScrambledZipfian so the hottest keys are spread across shards and
 // buckets instead of clustering at 0..k.
+//
+// F's read-modify-write hammers put-over-existing-key — the overwrite
+// path — and is *verified*: each RMW key is thread-exclusive (the picked
+// zipfian key is remapped into the thread's residue class mod nthreads),
+// so the writer knows exactly which payload version its read must
+// observe. A read that comes back absent, torn, or at any version other
+// than the last one written is a lost update (counted in
+// YcsbResult::lost_updates) — precisely the failure mode of a
+// non-atomic remove+insert overwrite.
 #pragma once
 
 #include <atomic>
@@ -99,12 +110,12 @@ class Zipfian {
   double theta_, alpha_, zetan_, eta_, zeta2_;
 };
 
-enum class YcsbOp { kRead, kUpdate, kInsert, kScan };
+enum class YcsbOp { kRead, kUpdate, kInsert, kScan, kRmw };
 
 /// One YCSB core-workload mix.
 struct YcsbMix {
   const char* name;
-  double read_frac;    ///< remainder splits update/insert/scan below
+  double read_frac;    ///< remainder splits update/insert/rmw/scan below
   double update_frac;  ///< put on an existing key
   double insert_frac;  ///< put on a fresh key (extends the keyspace)
   bool read_latest;    ///< D: reads skew towards recently inserted keys
@@ -112,12 +123,17 @@ struct YcsbMix {
   double scan_frac = 0.0;
   /// Scan lengths are uniform in [1, max_scan_len] (YCSB default 100).
   std::uint64_t max_scan_len = 100;
+  /// F: verified read-modify-write on a thread-exclusive key.
+  double rmw_frac = 0.0;
 
   YcsbOp pick(Rng& rng) const noexcept {
     const double r = rng.next_unit();
     if (r < read_frac) return YcsbOp::kRead;
     if (r < read_frac + update_frac) return YcsbOp::kUpdate;
     if (r < read_frac + update_frac + insert_frac) return YcsbOp::kInsert;
+    if (r < read_frac + update_frac + insert_frac + rmw_frac) {
+      return YcsbOp::kRmw;
+    }
     return YcsbOp::kScan;
   }
 
@@ -127,6 +143,9 @@ struct YcsbMix {
   static constexpr YcsbMix d() { return {"D", 0.95, 0.00, 0.05, true}; }
   static constexpr YcsbMix e() {
     return {"E", 0.00, 0.00, 0.05, false, 0.95, 100};
+  }
+  static constexpr YcsbMix f() {
+    return {"F", 0.50, 0.00, 0.00, false, 0.0, 100, 0.50};
   }
 };
 
@@ -140,13 +159,20 @@ struct YcsbConfig {
   std::uint64_t seed = 0x5EEDu;
 };
 
-/// Deterministic value payload for key k: an 8-byte key stamp followed by
-/// filler, so readers can verify what they fetch.
-inline std::string ycsb_value(std::int64_t k, std::size_t len) {
+/// Deterministic value payload for key k: an 8-byte key stamp, an 8-byte
+/// little-endian version (0 for plain loads/updates; F's read-modify-
+/// write bumps it), then filler — so readers can verify what they fetch
+/// byte for byte.
+inline std::string ycsb_value(std::int64_t k, std::size_t len,
+                              std::uint64_t version = 0) {
   std::string v(len, static_cast<char>('a' + (k & 0xF)));
   const auto stamp = static_cast<std::uint64_t>(k);
   for (std::size_t i = 0; i < sizeof(stamp) && i < len; ++i) {
     v[i] = static_cast<char>((stamp >> (8 * i)) & 0xFF);
+  }
+  for (std::size_t i = 0; i < sizeof(version) && sizeof(stamp) + i < len;
+       ++i) {
+    v[sizeof(stamp) + i] = static_cast<char>((version >> (8 * i)) & 0xFF);
   }
   return v;
 }
@@ -166,6 +192,9 @@ struct YcsbResult {
   std::uint64_t total_ops = 0;
   std::uint64_t read_misses = 0;      ///< reads/scans that found nothing
   std::uint64_t value_mismatches = 0; ///< payload/order verification fails
+  /// F: RMW reads that observed anything but the thread's last committed
+  /// version for that (thread-exclusive) key — a dropped overwrite.
+  std::uint64_t lost_updates = 0;
   std::uint64_t scan_entries = 0;     ///< pairs returned across all scans
   double seconds = 0.0;
   pmem::StatsSnapshot persistence;
@@ -215,13 +244,22 @@ YcsbResult run_ycsb(KV& kv, const YcsbConfig& cfg, const Zipfian& zipf) {
     throw std::invalid_argument(
         "run_ycsb: a scan mix needs an ordered store (kv::OrderedStore)");
   }
+  if (cfg.mix.rmw_frac > 0.0 &&
+      cfg.record_count < static_cast<std::uint64_t>(cfg.threads)) {
+    // RMW keys are striped by thread residue class; every thread needs at
+    // least one key of its own or the remap below would leave the
+    // prefilled keyspace.
+    throw std::invalid_argument(
+        "run_ycsb: an RMW mix needs record_count >= threads");
+  }
   std::atomic<bool> start{false};
   std::atomic<bool> stop{false};
   // D/E's insert frontier: the next fresh key (shared across threads).
   std::atomic<std::uint64_t> frontier{cfg.record_count};
 
   struct PerThread {
-    std::uint64_t ops = 0, misses = 0, mismatches = 0, scanned = 0;
+    std::uint64_t ops = 0, misses = 0, mismatches = 0, lost = 0,
+                  scanned = 0;
   };
   std::vector<PerThread> per_thread(static_cast<std::size_t>(cfg.threads));
   std::vector<std::thread> workers;
@@ -232,6 +270,14 @@ YcsbResult run_ycsb(KV& kv, const YcsbConfig& cfg, const Zipfian& zipf) {
       Rng rng(cfg.seed + 0x9000ull * static_cast<std::uint64_t>(t + 1));
       PerThread local;
       std::vector<std::pair<std::int64_t, std::string>> scan_buf;
+      // F: this thread's last committed version per owned key (key kk is
+      // owned by thread kk % threads and indexed by kk / threads).
+      const auto nthreads = static_cast<std::uint64_t>(cfg.threads);
+      std::vector<std::uint64_t> rmw_version;
+      if (cfg.mix.rmw_frac > 0.0) {
+        rmw_version.assign(
+            static_cast<std::size_t>(cfg.record_count / nthreads + 1), 0);
+      }
       while (!start.load(std::memory_order_acquire)) {
         std::this_thread::yield();
       }
@@ -265,6 +311,31 @@ YcsbResult run_ycsb(KV& kv, const YcsbConfig& cfg, const Zipfian& zipf) {
                 frontier.fetch_add(1, std::memory_order_relaxed));
             kv.put(k, ycsb_value(k, cfg.value_bytes));
             break;
+          case YcsbOp::kRmw: {
+            // Read-modify-write on a thread-exclusive key: remap the
+            // zipfian pick into this thread's residue class so the version
+            // chain per key is sequential and any lost update is exactly
+            // detectable (popularity skew per class is preserved).
+            const std::uint64_t r0 = zipf.next_scrambled(rng);
+            std::uint64_t kk =
+                r0 - r0 % nthreads + static_cast<std::uint64_t>(t);
+            if (kk >= cfg.record_count) kk -= nthreads;
+            k = static_cast<std::int64_t>(kk);
+            const std::size_t idx = static_cast<std::size_t>(kk / nthreads);
+            const std::uint64_t expect = rmw_version[idx];
+            const auto v = kv.get(k);
+            if (!v) {
+              ++local.misses;
+              ++local.lost;  // prefilled + never removed: absent = lost
+            } else if (!ycsb_value_matches(k, *v, cfg.value_bytes)) {
+              ++local.mismatches;
+            } else if (*v != ycsb_value(k, cfg.value_bytes, expect)) {
+              ++local.lost;  // stale/phantom version: a dropped overwrite
+            }
+            kv.put(k, ycsb_value(k, cfg.value_bytes, expect + 1));
+            rmw_version[idx] = expect + 1;
+            break;
+          }
           case YcsbOp::kScan:
             if constexpr (kHasScan) {
               k = static_cast<std::int64_t>(zipf.next_scrambled(rng));
@@ -305,6 +376,7 @@ YcsbResult run_ycsb(KV& kv, const YcsbConfig& cfg, const Zipfian& zipf) {
     r.total_ops += p.ops;
     r.read_misses += p.misses;
     r.value_mismatches += p.mismatches;
+    r.lost_updates += p.lost;
     r.scan_entries += p.scanned;
   }
   r.seconds = std::chrono::duration<double>(t1 - t0).count();

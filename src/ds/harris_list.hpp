@@ -8,6 +8,16 @@
 // the linearization point) and then physically unlinks it; traversals help
 // unlink marked nodes they encounter.
 //
+// Pointer-valued lists additionally support atomic in-place value
+// replacement (upsert): the value word is CASed from the old pointer to
+// the new one, and a removal *claims* the final value by CASing it to its
+// bit-0-marked form after winning the next-pointer mark. The value word's
+// successful CASes thus form one linear chain ending in a marked pointer,
+// which gives every superseded value exactly one owner (the CAS winner
+// that replaced it) — the retirement-uniqueness contract the KV record
+// slab builds on. A marked value can only ever be observed on a node
+// whose removal already linearized, so readers treat it as absence.
+//
 // Template parameters:
 //   K, V    — integral key (numeric_limits min/max are reserved for the
 //             sentinels) and trivially copyable value;
@@ -83,14 +93,46 @@ class HarrisList {
         Words::operation_completion();
         return false;
       }
-      Node* node = pmem::pnew<Node>(k, v, curr);
-      if (Method::persist_node_init) Words::persist_obj(node);
-      Node* expected = curr;
-      if (pred->next.cas(expected, node, Method::critical_store)) {
+      if (try_link(k, v, pred, curr)) {
         Words::operation_completion();
         return true;
       }
-      pmem::pdelete(node);  // never published; immediate free is safe
+    }
+  }
+
+  /// Insert-or-replace. Returns the superseded value when k was present
+  /// (the caller owns cleanup of whatever it referenced — see the file
+  /// comment), nullopt when this call freshly inserted k. The replacement
+  /// is one durable CAS on the node's value word: a concurrent find
+  /// observes the old or the new value, never absence. Pointer values
+  /// only (the coordination with removal needs bit 0 of the word).
+  std::optional<V> upsert(K k, V v)
+    requires std::is_pointer_v<V>
+  {
+    recl::Ebr::Guard g;
+    for (;;) {
+      auto [pred, curr] = search(k);
+      if (curr->key.load(Method::critical_load) == k) {
+        // In-place replace. A marked value means the removal that won
+        // this node's mark CAS already claimed it: the key is logically
+        // absent, so fall through to a fresh search (which helps unlink)
+        // and the insert path. Succeeding on a node whose *next* was
+        // marked after our search is benign: the value was still
+        // unclaimed, so the remover has not returned and the two
+        // overlapping operations linearize as replace-then-remove (the
+        // remover's claim captures — and owns — our value).
+        if (std::optional<V> old = replace_value(
+                curr->value, v, Method::critical_load,
+                Method::critical_store)) {
+          Words::operation_completion();
+          return old;
+        }
+        continue;
+      }
+      if (try_link(k, v, pred, curr)) {
+        Words::operation_completion();
+        return std::nullopt;
+      }
     }
   }
 
@@ -98,11 +140,12 @@ class HarrisList {
   bool remove(K k) { return remove_get(k).has_value(); }
 
   /// Remove k, returning the removed value (nullopt if k is absent).
-  /// Values are immutable once a node is published, so the value read
-  /// after the successful mark CAS is the unique value this removal
-  /// unlinked — exactly one removal observes it, which lets callers own
-  /// cleanup of value-referenced storage (the KV record slab relies on
-  /// this for EBR retirement of superseded records).
+  /// Exactly one removal observes the returned value, which lets callers
+  /// own cleanup of value-referenced storage (the KV record slab relies
+  /// on this for EBR retirement of superseded records). For pointer
+  /// values the winner *claims* it by marking the value word — the CAS
+  /// that ends the word's upsert chain; for other value types values are
+  /// immutable after publication and a plain read suffices.
   std::optional<V> remove_get(K k) {
     recl::Ebr::Guard g;
     for (;;) {
@@ -119,11 +162,8 @@ class HarrisList {
                           Method::critical_store)) {
         continue;  // next changed (insert after curr, or competing mark)
       }
-      // Private load: values are immutable once published (and persisted
-      // at node init), and winning the mark CAS means no concurrent writer
-      // exists — a p-load here would only add counter traffic and
-      // spurious pwbs to every remove.
-      const V removed = curr->value.load_private();
+      const V removed = claim_value(curr->value, Method::critical_load,
+                                    Method::cleanup_store);
       // Physical deletion: unlink; on failure, search() will help.
       Node* e = curr;
       if (pred->next.cas(e, succ, Method::cleanup_store)) {
@@ -146,14 +186,16 @@ class HarrisList {
     return found;
   }
 
-  /// Lookup returning the value.
+  /// Lookup returning the value. A claimed (marked) pointer value means
+  /// the node's removal linearized before our read: absent.
   std::optional<V> find(K k) const {
     recl::Ebr::Guard g;
     auto [pred, curr] = const_cast<HarrisList*>(this)->search(k);
     (void)pred;
     std::optional<V> out;
     if (curr->key.load(Method::transition_load) == k) {
-      out = curr->value.load(Method::transition_load);
+      const V v = curr->value.load(Method::transition_load);
+      if (!value_is_claimed(v)) out = v;
     }
     Words::operation_completion();
     return out;
@@ -206,6 +248,22 @@ class HarrisList {
  private:
   HarrisList(Node* head, Node* tail) noexcept
       : head_(head), tail_(tail), owns_(false) {}
+
+  /// One insertion attempt at the (pred, curr) position search() just
+  /// computed: build the node, persist it, publish it with the critical
+  /// CAS. False — node freed, nothing published — if the CAS lost; the
+  /// caller re-searches and retries. Shared by insert and upsert so the
+  /// publish/durability sequence exists exactly once.
+  bool try_link(K k, V v, Node* pred, Node* curr) {
+    Node* node = pmem::pnew<Node>(k, v, curr);
+    if (Method::persist_node_init) Words::persist_obj(node);
+    Node* expected = curr;
+    if (pred->next.cas(expected, node, Method::critical_store)) {
+      return true;
+    }
+    pmem::pdelete(node);  // never published; immediate free is safe
+    return false;
+  }
 
   /// Harris search: returns (pred, curr) where curr is the first unmarked
   /// node with key >= k and pred is its unmarked predecessor. Helps unlink

@@ -10,6 +10,7 @@
 
 #include <cstddef>
 #include <optional>
+#include <type_traits>
 #include <vector>
 
 #include "ds/harris_list.hpp"
@@ -54,6 +55,14 @@ class HashTable {
   HashTable(HashTable&&) noexcept = default;
 
   bool insert(K k, V v) { return bucket(k).insert(k, v); }
+  /// Insert-or-replace with an atomic in-place value CAS (pointer values
+  /// only; see HarrisList::upsert). Returns the superseded value when k
+  /// was present, nullopt on a fresh insert.
+  std::optional<V> upsert(K k, V v)
+    requires std::is_pointer_v<V>
+  {
+    return bucket(k).upsert(k, v);
+  }
   bool remove(K k) { return bucket(k).remove(k); }
   /// Remove k, returning the removed value (see HarrisList::remove_get).
   std::optional<V> remove_get(K k) { return bucket(k).remove_get(k); }

@@ -8,6 +8,13 @@
 // search. Nodes have geometric random height; towers make skiplist nodes
 // the structure where the adjacent-counter placement overflows a cache
 // line (paper §6.6).
+//
+// Pointer-valued lists additionally support atomic in-place value
+// replacement (upsert) with the same value-word protocol as HarrisList:
+// upsert CASes the value word old→new on a live node, a removal claims
+// the final value by marking it (bit 0) after winning the bottom-level
+// mark CAS, and readers treat a marked value as absence. See the
+// harris_list.hpp file comment for the ownership argument.
 #pragma once
 
 #include <cassert>
@@ -86,63 +93,54 @@ class SkipList {
         Words::operation_completion();
         return false;
       }
-      Node* node = alloc_node(k, v, height);
-      for (int i = 0; i < height; ++i) {
-        node->next[i].store_private(succs[i], kVolatile);
+      if (try_link(k, v, height, preds, succs)) {
+        Words::operation_completion();
+        return true;
       }
-      if (Method::persist_node_init) persist_node(node);
+    }
+  }
 
-      // Linearization: link at the bottom level.
-      Node* expected = succs[0];
-      if (!preds[0]->next[0].cas(expected, node, Method::critical_store)) {
-        free_node_now(node);  // never published
-        continue;
-      }
-      // Index levels: best-effort linking (volatile under Manual). The set
-      // already contains k; any failure here only degrades the index.
-      bool stop = false;
-      for (int level = 1; level < height && !stop; ++level) {
-        for (;;) {
-          Node* mine = node->next[level].load(Method::critical_load);
-          if (is_marked(mine)) {  // node is already being deleted
-            stop = true;
-            break;
-          }
-          Node* succ = succs[level];
-          if (succ == node) break;  // a helper already linked this level
-          if (mine != succ) {
-            Node* e = mine;
-            if (!node->next[level].cas(e, succ, Method::cleanup_store)) {
-              continue;  // re-read our tower pointer and retry
-            }
-          }
-          Node* e = succ;
-          if (preds[level]->next[level].cas(e, node,
-                                            Method::cleanup_store)) {
-            break;
-          }
-          // Predecessor changed; recompute the neighborhood.
-          const bool present = find(k, preds, succs);
-          if (!present || succs[0] != node) {  // removed concurrently
-            stop = true;
-            break;
-          }
+  /// Insert-or-replace. Returns the superseded value when k was present
+  /// (the caller owns cleanup of whatever it referenced), nullopt when
+  /// this call freshly inserted k. The replacement is one durable CAS on
+  /// the node's value word — a concurrent find/scan observes the old or
+  /// the new value, never absence. Pointer values only (the coordination
+  /// with removal needs bit 0 of the word); see HarrisList::upsert for
+  /// the linearization argument, which carries over unchanged.
+  std::optional<V> upsert(K k, V v)
+    requires std::is_pointer_v<V>
+  {
+    recl::Ebr::Guard g;
+    Node* preds[kMaxLevel];
+    Node* succs[kMaxLevel];
+    const int height = random_height();
+    for (;;) {
+      if (find(k, preds, succs)) {
+        if (std::optional<V> old = replace_value(
+                succs[0]->value, v, Method::critical_load,
+                Method::critical_store)) {
+          Words::operation_completion();
+          return old;
         }
+        continue;  // claimed by a removal: re-find (helps unlink), insert
       }
-      Words::operation_completion();
-      return true;
+      if (try_link(k, v, height, preds, succs)) {
+        Words::operation_completion();
+        return std::nullopt;
+      }
     }
   }
 
   bool remove(K k) { return remove_get(k).has_value(); }
 
   /// Remove k, returning the removed value (nullopt if k is absent).
-  /// Values are immutable once a node is published, so the value read
-  /// after the successful bottom-level mark CAS is the unique value this
-  /// removal unlinked — exactly one removal observes it, which lets
-  /// callers own cleanup of value-referenced storage (the KV record slab
-  /// relies on this for EBR retirement of superseded records; see
-  /// HarrisList::remove_get for the same contract).
+  /// Exactly one removal observes the returned value, which lets callers
+  /// own cleanup of value-referenced storage (the KV record slab relies
+  /// on this for EBR retirement of superseded records; see
+  /// HarrisList::remove_get for the same contract). Pointer values are
+  /// claimed with a marking CAS (ending the word's upsert chain);
+  /// non-pointer values are immutable after publication and a plain read
+  /// suffices.
   std::optional<V> remove_get(K k) {
     recl::Ebr::Guard g;
     Node* preds[kMaxLevel];
@@ -170,10 +168,8 @@ class SkipList {
       }
       Node* e = succ;
       if (victim->next[0].cas(e, with_mark(succ), Method::critical_store)) {
-        // Private load: values are immutable once published (and persisted
-        // at node init), and winning the mark CAS means no concurrent
-        // writer exists.
-        const V removed = victim->value.load_private();
+        const V removed = claim_value(victim->value, Method::critical_load,
+                                      Method::cleanup_store);
         // Physically unlink at every level, then reclaim.
         find(k, preds, succs);
         recl::Ebr::instance().retire(victim, &retire_deleter);
@@ -210,13 +206,16 @@ class SkipList {
     return found;
   }
 
+  /// Lookup returning the value. A claimed (marked) pointer value means
+  /// the node's removal linearized before our read: absent.
   std::optional<V> find_value(K k) const {
     recl::Ebr::Guard g;
     Node* preds[kMaxLevel];
     Node* succs[kMaxLevel];
     std::optional<V> out;
     if (const_cast<SkipList*>(this)->find(k, preds, succs)) {
-      out = succs[0]->value.load(Method::transition_load);
+      const V v = succs[0]->value.load(Method::transition_load);
+      if (!value_is_claimed(v)) out = v;
     }
     Words::operation_completion();
     return out;
@@ -272,8 +271,12 @@ class SkipList {
       Node* succ = curr->next[0].load(Method::transition_load);
       if (!is_marked(succ)) {
         const K k = curr->key.load(Method::transition_load);
-        if (k >= lo && !f(k, curr->value.load(Method::transition_load))) {
-          break;
+        if (k >= lo) {
+          // A value claimed between our mark check and this read means
+          // the node's removal linearized mid-walk: skip it, exactly as
+          // if the walk had read `succ` a moment later.
+          const V v = curr->value.load(Method::transition_load);
+          if (!value_is_claimed(v) && !f(k, v)) break;
         }
       }
       curr = without_mark(succ);
@@ -322,6 +325,57 @@ class SkipList {
  private:
   SkipList(Node* head, Node* tail) noexcept
       : head_(head), tail_(tail), owns_(false) {}
+
+  /// One insertion attempt against the (pred, succ) neighborhood `find`
+  /// just computed: build the tower, link at the bottom level (the
+  /// linearization point), then best-effort link the index levels
+  /// (volatile under Manual — the set already contains k; any failure
+  /// here only degrades the index). Returns false — node freed, nothing
+  /// published — if the bottom-level CAS lost; the caller re-finds and
+  /// retries. May itself call find() while fixing up index levels, so
+  /// preds/succs are clobbered either way.
+  bool try_link(K k, V v, int height, Node** preds, Node** succs) {
+    Node* node = alloc_node(k, v, height);
+    for (int i = 0; i < height; ++i) {
+      node->next[i].store_private(succs[i], kVolatile);
+    }
+    if (Method::persist_node_init) persist_node(node);
+
+    Node* expected = succs[0];
+    if (!preds[0]->next[0].cas(expected, node, Method::critical_store)) {
+      free_node_now(node);  // never published
+      return false;
+    }
+    bool stop = false;
+    for (int level = 1; level < height && !stop; ++level) {
+      for (;;) {
+        Node* mine = node->next[level].load(Method::critical_load);
+        if (is_marked(mine)) {  // node is already being deleted
+          stop = true;
+          break;
+        }
+        Node* succ = succs[level];
+        if (succ == node) break;  // a helper already linked this level
+        if (mine != succ) {
+          Node* e = mine;
+          if (!node->next[level].cas(e, succ, Method::cleanup_store)) {
+            continue;  // re-read our tower pointer and retry
+          }
+        }
+        Node* e = succ;
+        if (preds[level]->next[level].cas(e, node, Method::cleanup_store)) {
+          break;
+        }
+        // Predecessor changed; recompute the neighborhood.
+        const bool present = find(k, preds, succs);
+        if (!present || succs[0] != node) {  // removed concurrently
+          stop = true;
+          break;
+        }
+      }
+    }
+    return true;
+  }
 
   /// Single-threaded crash-recovery repair: walk the durable bottom level,
   /// splice out logically deleted (marked) nodes, rebuild every index

@@ -10,7 +10,10 @@
 //           to the structures).
 #pragma once
 
+#include <cassert>
 #include <cstdint>
+#include <optional>
+#include <type_traits>
 
 namespace flit::ds {
 
@@ -47,6 +50,83 @@ P* without_bits(P* p, std::uintptr_t bits) noexcept {
 template <class P>
 std::uintptr_t get_bits(P* p, std::uintptr_t bits) noexcept {
   return reinterpret_cast<std::uintptr_t>(p) & bits;
+}
+
+// --- the value-claim protocol (shared by HarrisList and SkipList) ----------
+//
+// Pointer-valued nodes support atomic in-place value replacement (upsert):
+// the value word is CASed old→new on a live node, and the removal that won
+// the node's next-pointer mark CAS *claims* the final value by CASing it to
+// its bit-0-marked form. The word's successful CASes thus form one linear
+// chain ending in a marked pointer, which gives every superseded value
+// exactly one owner — the CAS winner that replaced it — and a marked value
+// can only ever be observed on a node whose removal already linearized, so
+// readers treat it as absence.
+
+/// True iff a loaded value is a claimed (removal-owned) pointer. Always
+/// false for non-pointer values, which are immutable once published.
+template <class V>
+bool value_is_claimed([[maybe_unused]] V v) noexcept {
+  if constexpr (std::is_pointer_v<V>) {
+    return is_marked(v);
+  } else {
+    return false;
+  }
+}
+
+/// Take unique ownership of a removed node's final value. Pointer values:
+/// CAS the word to its marked form, which both defeats any still-in-flight
+/// upsert (its CAS can no longer succeed) and ends the word's replacement
+/// chain — the claimed value has exactly this one owner. Only the remover
+/// that won the node's mark CAS may call this, so the loop races only with
+/// (finitely many) upserts. `cas_pflag` should be the Method's cleanup
+/// pflag: the removal is already durable through the node mark, and
+/// recovery never reads a marked node's value. Non-pointer values are
+/// immutable once published (and persisted at node init), so a private
+/// load suffices — no counter traffic, no spurious pwbs.
+template <class Word>
+typename Word::value_type claim_value(Word& word, bool load_pflag,
+                                      bool cas_pflag) noexcept {
+  using V = typename Word::value_type;
+  if constexpr (std::is_pointer_v<V>) {
+    V val = word.load(load_pflag);
+    for (;;) {
+      // A single remover claims each node (it won the mark CAS) and
+      // upserts only ever install unmarked pointers, so the word cannot
+      // already be marked here — and a crash cannot fake it either: the
+      // mark CAS is a p-CAS that flushes and fences before returning, so
+      // the node mark is durable before this claim executes. Returning a
+      // marked pointer would hand the caller a tainted Record* to retire.
+      assert(!is_marked(val));
+      V expected = val;
+      if (word.cas(expected, with_mark(val), cas_pflag)) return val;
+      val = expected;
+    }
+  } else {
+    return word.load_private();
+  }
+}
+
+/// The replace half of the protocol (upsert's in-place overwrite): CAS
+/// the word old→new until it succeeds — returning the superseded value,
+/// which the caller now uniquely owns — or the value is found claimed by
+/// a removal, returning nullopt: the node is logically dead, and the
+/// caller should re-search (helping unlink) and fall back to inserting a
+/// fresh node. `cas_pflag` should be the Method's critical pflag — this
+/// CAS is the overwrite's durable linearization point, and the caller
+/// must have fully persisted what `v` points at before installing it.
+template <class Word, class V = typename Word::value_type>
+std::optional<V> replace_value(Word& word, V v, bool load_pflag,
+                               bool cas_pflag) noexcept
+  requires std::is_pointer_v<V>
+{
+  V old = word.load(load_pflag);
+  while (!is_marked(old)) {
+    V expected = old;
+    if (word.cas(expected, v, cas_pflag)) return old;
+    old = expected;
+  }
+  return std::nullopt;
 }
 
 }  // namespace flit::ds

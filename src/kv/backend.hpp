@@ -17,6 +17,10 @@
 //   static Backend recover(Roots*);           // volatile handle rebuild
 //   Roots* roots();
 //   bool insert(Key, Record*);                // false if key present
+//   std::optional<Record*> upsert(Key, Record*);  // atomic in-place
+//                                             // replace-or-insert; the
+//                                             // superseded record (owned
+//                                             // by the caller) or nullopt
 //   std::optional<Record*> remove_get(Key);   // unique unlink ownership
 //   std::optional<Record*> find(Key);
 //   bool contains(Key);
@@ -37,9 +41,11 @@
 //   * persist-before-publish — a Record is fully persisted before the
 //     structure ever points at it, so a record reachable from a persisted
 //     link is always intact;
-//   * unique retirement ownership — remove_get returns the value observed
-//     at the winning mark CAS, so exactly one operation retires each
-//     superseded record through EBR.
+//   * unique retirement ownership — every record leaves the structure by
+//     exactly one successful value-word CAS: an upsert superseding it
+//     (the upsert's caller owns it) or a removal's claim (remove_get's
+//     caller owns it), so exactly one operation retires each superseded
+//     record through EBR.
 #pragma once
 
 #include <cstddef>
@@ -77,6 +83,9 @@ class HashBackend {
 
   Roots* roots() const noexcept { return table_.roots(); }
   bool insert(Key k, Record* r) { return table_.insert(k, r); }
+  std::optional<Record*> upsert(Key k, Record* r) {
+    return table_.upsert(k, r);
+  }
   std::optional<Record*> remove_get(Key k) { return table_.remove_get(k); }
   std::optional<Record*> find(Key k) const { return table_.find(k); }
   bool contains(Key k) const { return table_.contains(k); }
@@ -169,6 +178,9 @@ class OrderedBackend {
 
   Roots* roots() const noexcept { return roots_; }
   bool insert(Key k, Record* r) { return list_.insert(k, r); }
+  std::optional<Record*> upsert(Key k, Record* r) {
+    return list_.upsert(k, r);
+  }
   std::optional<Record*> remove_get(Key k) { return list_.remove_get(k); }
   std::optional<Record*> find(Key k) const { return list_.find_value(k); }
   bool contains(Key k) const { return list_.contains(k); }

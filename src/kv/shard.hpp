@@ -15,15 +15,18 @@
 //     linearizability of the key→record mapping via the Words×Method
 //     grid, exactly like the paper's evaluated structures;
 //   * a superseded or removed record is retired through EBR by whichever
-//     operation uniquely unlinked it (the backend's remove_get returns
-//     the value observed at the mark CAS), so concurrent readers copying
+//     operation uniquely superseded it, so concurrent readers copying
 //     the record's bytes under an Ebr::Guard never see freed memory.
 //
-// Overwrite semantics: node values are immutable (that immutability is
-// what makes remove_get's retirement unique), so put-over-existing-key is
-// remove + insert. Each half is atomic and durable; a concurrent get may
-// observe the gap between them — the delete+set contract of memcached-
-// style stores, documented at the Store API.
+// Overwrite semantics: put over an existing key is a single durable CAS
+// on the node's value word (the backend's upsert), installing the new
+// record in place of the old one. A concurrent get or scan observes the
+// old or the new complete value — never absence, never a torn mix — and
+// a crash recovers one of the two. Retirement stays unique because the
+// value word's successful CASes form one linear chain: each record is
+// superseded by exactly one upsert (whose put retires it) or claimed by
+// exactly one removal (whose remove retires it) — see the value-claim
+// protocol in ds/harris_list.hpp.
 #pragma once
 
 #include <atomic>
@@ -38,6 +41,7 @@
 #include <utility>
 #include <vector>
 
+#include "ds/tagged_ptr.hpp"
 #include "pmem/pool.hpp"
 #include "recl/ebr.hpp"
 
@@ -119,7 +123,12 @@ class Shard {
   Shard& operator=(const Shard&) = delete;
   Shard(Shard&& o) noexcept
       : backend_(std::move(o.backend_)),
-        approx_size_(o.approx_size_.load(std::memory_order_relaxed)) {}
+        approx_size_(o.approx_size_.load(std::memory_order_relaxed)) {
+    // The count moved with the backend; a populated counter left behind
+    // would double-count the keys if the moved-from husk were ever
+    // summed (Store::size walks every shard it still holds).
+    o.approx_size_.store(0, std::memory_order_relaxed);
+  }
 
   /// Keys the underlying structures reserve for their sentinel nodes.
   /// put() rejects them; get/contains/remove treat them as always absent
@@ -131,39 +140,40 @@ class Shard {
 
   /// Insert or overwrite. Returns true if k was absent (fresh insert).
   /// Durability: the record is fully persisted before the backend links
-  /// it, and the link itself is durably linearizable per Words×Method. An
-  /// overwrite is remove + insert (see the file comment); each half is
-  /// individually durable. Throws std::invalid_argument on a reserved
-  /// sentinel key, std::length_error past Record::kMaxValueBytes, and
-  /// std::bad_alloc on a full pool (the unpublished record is freed).
+  /// it, and the link — a fresh node's publish CAS or an overwrite's
+  /// in-place value-word CAS — is durably linearizable per Words×Method.
+  /// An overwrite is atomic: concurrent reads observe the old or new
+  /// value, never absence (see the file comment). Throws
+  /// std::invalid_argument on a reserved sentinel key, std::length_error
+  /// past Record::kMaxValueBytes, and std::bad_alloc on a full pool (the
+  /// unpublished record is freed).
   bool put(Key k, std::string_view value) {
     if (reserved_key(k)) {
       throw std::invalid_argument("kv: INT64_MIN/INT64_MAX are reserved");
     }
-    // No guard here: the record is thread-private until insert publishes
+    // No guard here: the record is thread-private until upsert publishes
     // it, the backend operations pin their own epochs, and pinning across
     // a large value's copy + per-line flush would stall reclamation
     // everywhere else.
     Record* rec = Record::create<Backend::kPersistent>(value);
-    bool fresh = true;
+    std::optional<Record*> old;
     try {
-      while (!backend_.insert(k, rec)) {
-        // Key present: unlink the old pairing and retry the insert.
-        // Whoever wins the mark CAS owns retiring the superseded record.
-        if (std::optional<Record*> old = backend_.remove_get(k)) {
-          approx_size_.fetch_sub(1, std::memory_order_relaxed);
-          Record::retire(*old);
-          fresh = false;
-        }
-      }
-      approx_size_.fetch_add(1, std::memory_order_relaxed);
+      old = backend_.upsert(k, rec);
     } catch (...) {
-      // insert's node allocation can throw on a near-full pool; rec was
+      // upsert's node allocation can throw on a near-full pool; rec was
       // never published, so free it immediately rather than leak it.
       pmem::Pool::instance().dealloc(rec, Record::bytes(rec->len));
       throw;
     }
-    return fresh;
+    if (old) {
+      // We won the value-word CAS that superseded *old: unique retirement
+      // ownership. The counter is untouched — an overwrite changes no
+      // key's presence, so size() no longer dips during overwrites.
+      Record::retire(*old);
+      return false;
+    }
+    approx_size_.fetch_add(1, std::memory_order_relaxed);
+    return true;
   }
 
   /// Copy out the value for k (nullopt if absent). The Ebr::Guard spans
@@ -197,10 +207,11 @@ class Shard {
   /// Approximate key count, O(1): a relaxed counter bumped at each
   /// linearized insert/remove. Exact whenever the shard is quiescent
   /// (every linearized operation is counted exactly once); under
-  /// concurrency it may transiently run ahead of or behind the reachable
-  /// count — in particular an in-flight overwrite dips it by one between
-  /// its remove and insert halves. Rebuilt by an O(data) sweep on
-  /// recovery. See ARCHITECTURE.md for the accuracy contract.
+  /// concurrency it may transiently deviate by the number of in-flight
+  /// inserts/removes. Overwrites never touch it (an in-place upsert
+  /// changes no key's presence), so a store under pure overwrite churn
+  /// reads exactly. Rebuilt by an O(data) sweep on recovery. See
+  /// ARCHITECTURE.md for the accuracy contract.
   std::size_t size() const noexcept {
     const auto n = approx_size_.load(std::memory_order_relaxed);
     return n > 0 ? static_cast<std::size_t>(n) : 0;
@@ -265,7 +276,11 @@ class Shard {
       }
       if (na + nb > hi) hi = na + nb;
       const Record* r = n.value.load_private();
-      if (marked || r == nullptr) return;  // sentinel or retired value
+      // Sentinel, or a retired value: a marked node's record was claimed
+      // by its removal (and a claimed — bit-0-marked — value pointer only
+      // ever appears on a marked node; checked here anyway so a violated
+      // invariant surfaces as a skip, not a wild dereference).
+      if (marked || r == nullptr || ds::is_marked(r)) return;
       const auto ra = reinterpret_cast<std::uintptr_t>(r);
       if (ra < lo || ra + sizeof(Record) > limit) {
         throw std::length_error("kv: record pointer outside the region");

@@ -44,17 +44,16 @@
 // recovery proof in the tests.
 //
 // Consistency contract: get/put/remove on a single key are atomic and
-// durably linearizable per the Words×Method configuration, with one
-// documented exception — put over an *existing* key is remove + insert
-// (node values are immutable; see shard.hpp). Two consequences: a
-// concurrent get may observe the key briefly absent, and a crash landing
-// between the two halves recovers with the key absent (old value durably
-// removed, new one not yet committed) even though the put never
-// returned. Each half is individually durable — no *returned* operation
-// is ever lost. Closing this window with an atomic in-place overwrite is
-// a ROADMAP item. scan() is ordered but not an atomic snapshot (see the
+// durably linearizable per the Words×Method configuration — including
+// put over an *existing* key, which is a single durable CAS installing
+// the new value record in place of the old one (the backend upsert; see
+// shard.hpp). A concurrent get or scan observes the old or the new
+// complete value, never absence and never a torn mix, and a crash
+// mid-overwrite recovers exactly one of the two. No *returned* operation
+// is ever lost. scan() is ordered but not an atomic snapshot (see the
 // method comment); size() is an O(1) approximate counter, exact at
-// quiescence (see Shard::size and ARCHITECTURE.md).
+// quiescence and untouched by overwrites (see Shard::size and
+// ARCHITECTURE.md).
 //
 // Lifetime contract: a Store handle is volatile; the persistent bytes are
 // not owned by it. Destroying a pool-backed store releases the handles and
@@ -373,8 +372,9 @@ class Store {
   // --- the KV API ----------------------------------------------------------
 
   /// Insert or overwrite. Returns true if k was absent (fresh insert).
-  /// Durably linearizable per Words×Method; an overwrite is remove +
-  /// insert (see the consistency contract above). Throws
+  /// Durably linearizable per Words×Method; an overwrite is one atomic
+  /// in-place value CAS — concurrent reads see the old or new value,
+  /// never absence (see the consistency contract above). Throws
   /// std::invalid_argument on the reserved sentinel keys
   /// (INT64_MIN/INT64_MAX), std::length_error past Record::kMaxValueBytes,
   /// std::bad_alloc on a full pool.
@@ -403,7 +403,10 @@ class Store {
   /// is not an atomic snapshot: keys inserted or removed concurrently may
   /// or may not appear. Keys present for the whole call are always
   /// returned. After recovery, a scan observes every committed key in
-  /// order.
+  /// order. The reserved sentinel keys are safe starts: scan(INT64_MIN,
+  /// n) returns the n smallest keys and scan(INT64_MAX, n) is empty
+  /// (neither sentinel is storable, and the structures' sentinel nodes
+  /// are never emitted) — audited in kv_ordered_test.
   std::vector<std::pair<Key, std::string>> scan(Key start, std::size_t n)
       const
     requires(kOrdered)

@@ -206,6 +206,127 @@ TEST_F(KvOrderedTest, ScansUnderConcurrentInsertRemoveStayConsistent) {
   EXPECT_EQ(violations.load(), 0u);
 }
 
+TEST_F(KvOrderedTest, OverwriteChurnNeverHidesKeysFromGetsOrScans) {
+  // The tentpole's acceptance criterion on the ordered backend: under
+  // 100% overwrite churn on a fixed key set, a concurrent get never
+  // returns absent and a full scan never drops a key. Every key is
+  // written only as value_for(k, salt) for some salt, so any returned
+  // payload must be consistent with its key. Run under ASan and the tsan
+  // preset (label kv) — the value-claim protocol's races live here.
+  constexpr K kKeys = 256;
+  Ordered kv(4, 64, KeyRange{0, kKeys});
+  for (K k = 0; k < kKeys; ++k) kv.put(k, value_for(k, 0));
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> violations{0};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 2; ++t) {
+    writers.emplace_back([&kv, &stop, &violations, t] {
+      std::mt19937_64 rng(static_cast<std::uint64_t>(t) * 7919 + 3);
+      std::uint64_t salt = 1;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const K k = static_cast<K>(rng() % kKeys);
+        if (kv.put(k, value_for(k, salt++))) {
+          ++violations;  // an overwrite must never be a fresh insert
+        }
+      }
+    });
+  }
+
+  // A reader cannot know which salt it will catch, but every committed
+  // value_for(k, s) is a uniform fill of 1..512 bytes — a torn mix of
+  // two generations (different fill chars or a stale length) fails this.
+  const auto plausible = [](const std::string& v) {
+    return !v.empty() && v.size() <= 512 &&
+           v.find_first_not_of(v[0]) == std::string::npos;
+  };
+  std::vector<std::thread> getters;
+  for (int t = 0; t < 2; ++t) {
+    getters.emplace_back([&kv, &violations, &plausible, t] {
+      std::mt19937_64 rng(static_cast<std::uint64_t>(t) * 31 + 17);
+      for (int i = 0; i < 20'000; ++i) {
+        const K k = static_cast<K>(rng() % kKeys);
+        const auto v = kv.get(k);
+        if (!v) {
+          ++violations;  // the key transiently disappeared
+        } else if (!plausible(*v)) {
+          ++violations;
+        }
+      }
+    });
+  }
+
+  std::thread scanner([&kv, &violations, &plausible] {
+    std::vector<std::pair<K, std::string>> buf;
+    for (int i = 0; i < 300; ++i) {
+      kv.scan(0, static_cast<std::size_t>(kKeys) + 8, buf);
+      if (buf.size() != static_cast<std::size_t>(kKeys)) {
+        ++violations;  // a scan dropped (or invented) a key mid-overwrite
+        continue;
+      }
+      for (std::size_t j = 0; j < buf.size(); ++j) {
+        if (buf[j].first != static_cast<K>(j)) ++violations;
+        if (!plausible(buf[j].second)) ++violations;
+      }
+    }
+  });
+
+  std::thread size_checker([&kv, &violations] {
+    for (int i = 0; i < 2'000; ++i) {
+      if (kv.size() != static_cast<std::size_t>(kKeys)) {
+        ++violations;  // overwrites must not move the counters
+      }
+    }
+  });
+
+  for (auto& th : getters) th.join();
+  scanner.join();
+  size_checker.join();
+  stop.store(true);
+  for (auto& th : writers) th.join();
+  EXPECT_EQ(violations.load(), 0u);
+
+  // Quiescent: every key holds some committed generation, intact.
+  for (K k = 0; k < kKeys; ++k) {
+    const auto v = kv.get(k);
+    ASSERT_TRUE(v.has_value()) << k;
+    EXPECT_TRUE(plausible(*v)) << "torn value at key " << k;
+  }
+}
+
+TEST_F(KvOrderedTest, ReservedSentinelKeysAuditOnTheOrderedStore) {
+  // scan()'s contract at the reserved sentinel keys (audited per the
+  // issue): INT64_MIN is a safe "from the beginning" start that returns
+  // every key (the structures' head sentinels are never emitted), and
+  // INT64_MAX returns nothing (it is not storable, and the tail
+  // sentinels are never emitted either). Point ops on the sentinels are
+  // rejected/absent exactly like the hashed store.
+  constexpr K kMin = std::numeric_limits<K>::min();
+  constexpr K kMax = std::numeric_limits<K>::max();
+  Ordered kv(4, 64, KeyRange{-100, 100});
+  const K keys[] = {-90, -1, 0, 7, 99};
+  for (const K k : keys) kv.put(k, value_for(k));
+
+  EXPECT_THROW(kv.put(kMin, "x"), std::invalid_argument);
+  EXPECT_THROW(kv.put(kMax, "x"), std::invalid_argument);
+  EXPECT_EQ(kv.get(kMin), std::nullopt);
+  EXPECT_EQ(kv.get(kMax), std::nullopt);
+  EXPECT_FALSE(kv.contains(kMin));
+  EXPECT_FALSE(kv.remove(kMax));
+
+  const auto all = kv.scan(kMin, 100);
+  ASSERT_EQ(all.size(), std::size(keys));
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    EXPECT_EQ(all[i].first, keys[i]);
+    EXPECT_EQ(all[i].second, value_for(keys[i]));
+  }
+  EXPECT_TRUE(kv.scan(kMax, 100).empty())
+      << "INT64_MAX is reserved: no stored key can be >= it";
+  EXPECT_TRUE(kv.scan(kMax, 0).empty());
+  // A scan starting one past the largest real key is empty too.
+  EXPECT_TRUE(kv.scan(100, 10).empty());
+}
+
 // --- simulated power failure -----------------------------------------------
 
 template <class StoreT>

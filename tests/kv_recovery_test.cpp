@@ -54,15 +54,23 @@ class KvCrashTest : public PmemTest {
     pmem::set_backend(pmem::Backend::kSimCrash);
   }
   void TearDown() override {
+    pmem::SimMemory::instance().set_pfence_hook(nullptr, nullptr);
     recl::Ebr::instance().set_reclaim(true);
     PmemTest::TearDown();
   }
 };
 
+// The sweep covers every persistent word implementation (including
+// link-and-persist, whose bit-1 dirty flag must coexist with the value
+// word's bit-0 claim mark) and both backend layouts — the ordered store
+// recovers through SkipList::recover's index rebuild, which the
+// value-claim protocol must not confuse.
 using CrashConfigs = ::testing::Types<
     Store<HashedWords, Automatic>, Store<HashedWords, NVTraverse>,
     Store<HashedWords, Manual>, Store<AdjacentWords, Automatic>,
-    Store<PerLineWords, Automatic>>;
+    Store<PerLineWords, Automatic>, Store<LapWords, Automatic>,
+    Store<LapWords, NVTraverse>, OrderedStore<HashedWords, Manual>,
+    OrderedStore<LapWords, Automatic>>;
 
 TYPED_TEST_SUITE(KvCrashTest, CrashConfigs);
 
@@ -178,6 +186,85 @@ TYPED_TEST(KvCrashTest, ConcurrentOpsThenCrash) {
       ASSERT_TRUE(got.has_value()) << k;
       EXPECT_EQ(*got, it->second) << k;
     }
+  }
+}
+
+TYPED_TEST(KvCrashTest, CrashDuringOverwriteRecoversOldOrNewValue) {
+  // Instruction-granularity durability of the in-place overwrite: capture
+  // the persistent image at *every* pfence boundary inside a single
+  // put-over-existing-key, reboot into each, and require the key to
+  // recover with the old or the new complete value — never absent (the
+  // closed remove+insert gap), never torn, never with collateral damage
+  // to a neighboring key. Values straddle multiple cache lines so a
+  // value-CAS published before the record's persist_range would show up
+  // as a torn read here.
+  struct Ctx {
+    std::uint64_t fence_count = 0;
+    std::uint64_t target = 0;
+    bool armed = false;
+    std::vector<std::byte> image;
+    static void hook(void* p) {
+      auto* c = static_cast<Ctx*>(p);
+      if (!c->armed) return;
+      if (++c->fence_count == c->target) {
+        c->image = pmem::SimMemory::instance().clone_shadow(0);
+      }
+    }
+  };
+
+  const std::string vold(120, 'o');   // > one cache line
+  const std::string vnew(3000, 'n');  // multi-line record
+  const std::string vside(40, 's');
+  constexpr K kKey = 7, kSide = 8;
+
+  // Returns the number of fences one overwrite executes; when `target`
+  // lands on one of them, reboots into the captured image and checks it.
+  const auto run = [&](std::uint64_t target) -> std::uint64_t {
+    pmem::SimMemory::instance().clear_regions();
+    pmem::Pool::instance().reinit(flit::test::PmemTest::kPoolBytes);
+    pmem::Pool::instance().register_with_sim();
+
+    TypeParam kv(2, 32);
+    auto* sb = kv.superblock();
+    kv.put(kKey, vold);
+    kv.put(kSide, vside);
+
+    Ctx ctx;
+    ctx.target = target;
+    pmem::SimMemory::instance().set_pfence_hook(&Ctx::hook, &ctx);
+    ctx.armed = true;
+    EXPECT_FALSE(kv.put(kKey, vnew));  // the in-flight overwrite
+    ctx.armed = false;
+    pmem::SimMemory::instance().set_pfence_hook(nullptr, nullptr);
+
+    if (!ctx.image.empty()) {
+      const std::vector<std::byte> final_state =
+          pmem::SimMemory::instance().clone_volatile(0);
+      pmem::SimMemory::instance().overwrite_volatile(ctx.image, 0);
+      {
+        TypeParam recovered = TypeParam::recover(sb);
+        const auto got = recovered.get(kKey);
+        EXPECT_TRUE(got.has_value())
+            << "key absent after a crash at overwrite fence #" << target
+            << " — the remove+insert visibility gap is back";
+        if (got.has_value()) {
+          EXPECT_TRUE(*got == vold || *got == vnew)
+              << "torn record at fence #" << target << " (got "
+              << got->size() << " bytes of '" << (*got)[0] << "')";
+        }
+        EXPECT_EQ(recovered.get(kSide), vside) << "fence #" << target;
+        EXPECT_EQ(recovered.size(), 2u) << "fence #" << target;
+      }
+      pmem::SimMemory::instance().overwrite_volatile(final_state, 0);
+    }
+    return ctx.fence_count;
+  };
+
+  const std::uint64_t total = run(~std::uint64_t{0});
+  ASSERT_GT(total, 0u) << "an overwrite must fence at least once";
+  for (std::uint64_t t = 1; t <= total; ++t) {
+    run(t);
+    if (::testing::Test::HasFailure()) return;  // first bad fence is enough
   }
 }
 

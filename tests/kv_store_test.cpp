@@ -22,6 +22,39 @@ using KvStore = Store<HashedWords, Automatic>;
 
 class KvStoreTest : public PmemTest {};
 
+/// Self-describing churn payload: 8-byte key + 8-byte salt header, then
+/// filler whose char and length derive from both — a reader can verify
+/// any committed generation byte for byte (and detect torn or
+/// cross-wired records) without knowing which generation it caught.
+std::string churn_value(std::int64_t k, std::uint64_t salt) {
+  const std::size_t len = 16 + static_cast<std::size_t>(
+                                   (static_cast<std::uint64_t>(k) * 131 +
+                                    salt * 257) %
+                                   200);
+  std::string v(len, static_cast<char>('a' + (k + static_cast<std::int64_t>(
+                                                      salt)) %
+                                                 26));
+  for (std::size_t i = 0; i < 8; ++i) {
+    v[i] = static_cast<char>((static_cast<std::uint64_t>(k) >> (8 * i)) &
+                             0xFF);
+    v[8 + i] = static_cast<char>((salt >> (8 * i)) & 0xFF);
+  }
+  return v;
+}
+
+/// True iff `v` is churn_value(k, s) for some salt s.
+bool churn_value_ok(std::int64_t k, const std::string& v) {
+  if (v.size() < 16) return false;
+  std::uint64_t rk = 0, salt = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    rk |= static_cast<std::uint64_t>(static_cast<unsigned char>(v[i]))
+          << (8 * i);
+    salt |= static_cast<std::uint64_t>(static_cast<unsigned char>(v[8 + i]))
+            << (8 * i);
+  }
+  return rk == static_cast<std::uint64_t>(k) && v == churn_value(k, salt);
+}
+
 TEST_F(KvStoreTest, PutGetRemoveRoundTrip) {
   KvStore kv(4, 64);
   EXPECT_EQ(kv.get(1), std::nullopt);
@@ -120,6 +153,98 @@ TEST_F(KvStoreTest, RecoverRejectsCorruptSuperblock) {
   sb->magic = 0xBAD;
   EXPECT_THROW((void)KvStore::recover(sb), std::runtime_error);
   sb->magic = saved;
+}
+
+TEST_F(KvStoreTest, ShardMoveResetsTheSourceCounter) {
+  // Regression: the move constructor used to copy approx_size_ and leave
+  // the moved-from shard's counter populated — a husk summed by anything
+  // still holding it would double-count every key.
+  Shard<HashBackend<HashedWords, Automatic>> a(16);
+  ASSERT_TRUE(a.put(1, "one"));
+  ASSERT_TRUE(a.put(2, "two"));
+  ASSERT_EQ(a.size(), 2u);
+  Shard<HashBackend<HashedWords, Automatic>> b(std::move(a));
+  EXPECT_EQ(b.size(), 2u);
+  EXPECT_EQ(a.size(), 0u) << "moved-from counter must be zeroed";
+  EXPECT_EQ(b.get(1), "one");
+  EXPECT_EQ(b.get(2), "two");
+}
+
+TEST_F(KvStoreTest, OverwriteChurnNeverHidesAKey) {
+  // The tentpole's acceptance criterion on the hashed backend: under
+  // 100% overwrite churn on a fixed key set, a concurrent get must
+  // observe the old or the new complete value — never absence, never a
+  // torn mix. (Before the in-place value CAS, put was remove + insert
+  // and this test's absence counter fired readily.)
+  KvStore kv(4, 64);
+  constexpr std::int64_t kKeys = 64;
+  for (std::int64_t k = 0; k < kKeys; ++k) kv.put(k, churn_value(k, 0));
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> absences{0};
+  std::atomic<std::uint64_t> torn{0};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 3; ++t) {
+    writers.emplace_back([&kv, &stop, t] {
+      std::mt19937_64 rng(static_cast<std::uint64_t>(t) * 7919 + 3);
+      std::uint64_t salt = 1;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto k = static_cast<std::int64_t>(rng() % kKeys);
+        EXPECT_FALSE(kv.put(k, churn_value(k, salt++)))
+            << "an overwrite must never report a fresh insert";
+      }
+    });
+  }
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&kv, &absences, &torn, t] {
+      std::mt19937_64 rng(static_cast<std::uint64_t>(t) * 31 + 7);
+      for (int i = 0; i < 30'000; ++i) {
+        const auto k = static_cast<std::int64_t>(rng() % kKeys);
+        const auto v = kv.get(k);
+        if (!v) {
+          absences.fetch_add(1);
+        } else if (!churn_value_ok(k, *v)) {
+          torn.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& th : readers) th.join();
+  stop.store(true);
+  for (auto& th : writers) th.join();
+  EXPECT_EQ(absences.load(), 0u)
+      << "a key under pure overwrite churn transiently disappeared";
+  EXPECT_EQ(torn.load(), 0u);
+  EXPECT_EQ(kv.size(), static_cast<std::size_t>(kKeys));
+}
+
+TEST_F(KvStoreTest, SizeIsExactUnderPureOverwriteChurn) {
+  // Overwrites no longer touch the per-shard counters (no remove+insert
+  // sub/add dance), so size() reads exactly N even mid-churn — not just
+  // at quiescence.
+  KvStore kv(4, 64);
+  constexpr std::int64_t kKeys = 128;
+  for (std::int64_t k = 0; k < kKeys; ++k) kv.put(k, "v0");
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&kv, &stop, t] {
+      std::mt19937_64 rng(static_cast<std::uint64_t>(t) * 97 + 13);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto k = static_cast<std::int64_t>(rng() % kKeys);
+        kv.put(k, churn_value(k, rng()));
+      }
+    });
+  }
+  for (int i = 0; i < 2'000; ++i) {
+    ASSERT_EQ(kv.size(), static_cast<std::size_t>(kKeys))
+        << "size() dipped during an in-flight overwrite";
+  }
+  stop.store(true);
+  for (auto& th : writers) th.join();
+  EXPECT_EQ(kv.size(), static_cast<std::size_t>(kKeys));
 }
 
 TEST_F(KvStoreTest, ConcurrentMixedOpsKeepValuesConsistent) {
