@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_ycsb_kv.json snapshots row by row.
+
+Usage: bench_diff.py BASELINE.json CANDIDATE.json [--min-delta PCT]
+
+Rows are matched on (words, layout, mix, batch). For each matched row the
+throughput and persistence-instruction deltas are printed as a table;
+rows present on only one side are listed separately. Exit status is
+always 0 — this is a reporting tool, not a gate (the fence-coalescing
+gate lives in check_fence_coalescing.py).
+"""
+
+import argparse
+import json
+import sys
+
+
+def key(row):
+    return (row["words"], row.get("layout", ""), row["mix"],
+            row.get("batch", 1))
+
+
+def load(path):
+    with open(path) as f:
+        data = json.load(f)
+    return {key(r): r for r in data.get("rows", [])}
+
+
+def pct(new, old):
+    if old == 0:
+        return float("inf") if new > 0 else 0.0
+    return 100.0 * (new - old) / old
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("candidate")
+    ap.add_argument("--min-delta", type=float, default=0.0,
+                    help="only print rows whose |Mops delta| >= PCT")
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    cand = load(args.candidate)
+
+    shared = sorted(set(base) & set(cand))
+    only_base = sorted(set(base) - set(cand))
+    only_cand = sorted(set(cand) - set(base))
+
+    hdr = (f"{'words':<15} {'layout':<8} {'mix':<4} {'batch':>5} "
+           f"{'Mops':>8} {'Δ%':>8} {'pwbs/op':>9} {'Δ%':>8} "
+           f"{'pfences/op':>11} {'Δ%':>8}")
+    print(hdr)
+    print("-" * len(hdr))
+    for k in shared:
+        b, c = base[k], cand[k]
+        dm = pct(c["mops"], b["mops"])
+        if abs(dm) < args.min_delta:
+            continue
+        dw = pct(c["pwbs_per_op"], b["pwbs_per_op"])
+        df = pct(c.get("pfences_per_op", 0.0), b.get("pfences_per_op", 0.0))
+        print(f"{k[0]:<15} {k[1]:<8} {k[2]:<4} {k[3]:>5} "
+              f"{c['mops']:>8.3f} {dm:>+7.1f}% {c['pwbs_per_op']:>9.3f} "
+              f"{dw:>+7.1f}% {c.get('pfences_per_op', 0.0):>11.3f} "
+              f"{df:>+7.1f}%")
+
+    for label, keys in (("only in baseline", only_base),
+                        ("only in candidate", only_cand)):
+        if keys:
+            print(f"\n{label}:")
+            for k in keys:
+                print(f"  {k[0]} {k[1]} {k[2]} batch={k[3]}")
+
+    print(f"\n{len(shared)} matched rows "
+          f"({len(only_base)} baseline-only, {len(only_cand)} candidate-only)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

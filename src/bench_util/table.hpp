@@ -100,10 +100,12 @@ class Table {
 ///   --full           run paper-scale parameters (long!)
 ///   --threads=N      override thread count
 ///   --seconds=S      override per-point duration
+///   --batch=N        restrict a batch sweep to one batch size (ycsb_kv)
 struct BenchArgs {
   bool full = false;
   int threads = 0;       // 0 = binary default
   double seconds = 0.0;  // 0 = binary default
+  int batch = 0;         // 0 = binary default (full sweep)
 
   static BenchArgs parse(int argc, char** argv) {
     BenchArgs a;
@@ -115,6 +117,8 @@ struct BenchArgs {
         a.threads = std::atoi(s.c_str() + 10);
       } else if (s.rfind("--seconds=", 0) == 0) {
         a.seconds = std::atof(s.c_str() + 10);
+      } else if (s.rfind("--batch=", 0) == 0) {
+        a.batch = std::atoi(s.c_str() + 8);
       }
     }
     return a;

@@ -31,6 +31,12 @@
 // than the last one written is a lost update (counted in
 // YcsbResult::lost_updates) — precisely the failure mode of a
 // non-atomic remove+insert overwrite.
+//
+// With YcsbConfig::batch > 1 the non-scan mixes run through the store's
+// multi-op API instead: each worker assembles `batch` picked ops and
+// issues one multi_get for the reads and one multi_put for the writes,
+// with identical verification (RMW version chains stay exact across
+// in-batch duplicate keys — see the batched loop in run_ycsb).
 #pragma once
 
 #include <atomic>
@@ -40,8 +46,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <limits>
+#include <map>
+#include <mutex>
+#include <span>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -65,15 +75,35 @@ class Zipfian {
       // back inf/NaN ranks.
       throw std::invalid_argument("Zipfian: need n > 0 and 0 < theta < 1");
     }
-    double zetan = 0.0;
-    for (std::uint64_t i = 1; i <= n_; ++i) {
-      zetan += 1.0 / std::pow(static_cast<double>(i), theta_);
-    }
-    zetan_ = zetan;
+    zetan_ = zeta(n_, theta_);
     zeta2_ = 1.0 + 1.0 / std::pow(2.0, theta_);
     alpha_ = 1.0 / (1.0 - theta_);
     eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
            (1.0 - zeta2_ / zetan_);
+  }
+
+  /// zeta(n, theta) = Σ_{i=1..n} i^-theta, memoized for the process
+  /// lifetime. Benchmark sweeps construct a fresh generator per phase
+  /// over the same (n, theta) pair, and the O(n) std::pow loop was
+  /// dominating sweep setup — repeated pairs now hit the cache instead of
+  /// rescanning the keyspace. Thread-safe; a racing first computation of
+  /// the same pair is benign (both sides produce the same value).
+  static double zeta(std::uint64_t n, double theta) {
+    static std::mutex mu;
+    static std::map<std::pair<std::uint64_t, double>, double> cache;
+    const std::pair<std::uint64_t, double> key{n, theta};
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      if (const auto it = cache.find(key); it != cache.end()) {
+        return it->second;
+      }
+    }
+    double z = 0.0;
+    for (std::uint64_t i = 1; i <= n; ++i) {
+      z += 1.0 / std::pow(static_cast<double>(i), theta);
+    }
+    std::lock_guard<std::mutex> lk(mu);
+    return cache.emplace(key, z).first->second;
   }
 
   /// Zipf-distributed rank in [0, n): rank 0 is the most popular.
@@ -157,6 +187,10 @@ struct YcsbConfig {
   double zipf_theta = 0.99;
   double duration_s = 1.0;
   std::uint64_t seed = 0x5EEDu;
+  /// >1: each worker assembles `batch` picked ops and issues them through
+  /// the store's multi-op API — one multi_get for the reads (plain and
+  /// RMW), one multi_put for the writes. Scan mixes cannot be batched.
+  std::size_t batch = 1;
 };
 
 /// Deterministic value payload for key k: an 8-byte key stamp, an 8-byte
@@ -244,6 +278,22 @@ YcsbResult run_ycsb(KV& kv, const YcsbConfig& cfg, const Zipfian& zipf) {
     throw std::invalid_argument(
         "run_ycsb: a scan mix needs an ordered store (kv::OrderedStore)");
   }
+  constexpr bool kHasMulti = requires(
+      KV& m, const KV& c, std::span<const std::int64_t> ks,
+      std::span<const std::pair<std::int64_t, std::string_view>> ps) {
+    { c.multi_get(ks) };
+    { m.multi_put(ps) };
+  };
+  if (cfg.batch > 1) {
+    if (cfg.mix.scan_frac > 0.0) {
+      throw std::invalid_argument(
+          "run_ycsb: scan mixes cannot be batched (use batch = 1 for E)");
+    }
+    if (!kHasMulti) {
+      throw std::invalid_argument(
+          "run_ycsb: batch > 1 needs a store with multi_get/multi_put");
+    }
+  }
   if (cfg.mix.rmw_frac > 0.0 &&
       cfg.record_count < static_cast<std::uint64_t>(cfg.threads)) {
     // RMW keys are striped by thread residue class; every thread needs at
@@ -280,6 +330,118 @@ YcsbResult run_ycsb(KV& kv, const YcsbConfig& cfg, const Zipfian& zipf) {
       }
       while (!start.load(std::memory_order_acquire)) {
         std::this_thread::yield();
+      }
+      if (cfg.batch > 1) {
+        if constexpr (kHasMulti) {
+          // Batched mode: assemble cfg.batch picked ops, then issue one
+          // multi_get for every read (plain and RMW) and one multi_put
+          // for every write. Reads of a key the same batch also writes
+          // observe the pre-batch value (gets run before puts), which
+          // keeps every verification below exact: an RMW key picked
+          // multiple times in one batch reads the last *committed*
+          // version once per occurrence and writes committed+occurrence
+          // versions in order (multi_put applies duplicates in batch
+          // order — last value wins).
+          std::vector<std::int64_t> get_keys;
+          std::vector<std::uint8_t> get_is_rmw;
+          std::vector<std::uint64_t> get_expect;  // RMW: pre-batch version
+          std::vector<std::size_t> get_veridx;    // RMW: rmw_version index
+          std::vector<std::pair<std::int64_t, std::string>> put_store;
+          std::vector<std::pair<std::int64_t, std::string_view>> put_view;
+          while (!stop.load(std::memory_order_relaxed)) {
+            get_keys.clear();
+            get_is_rmw.clear();
+            get_expect.clear();
+            get_veridx.clear();
+            put_store.clear();
+            for (std::size_t b = 0; b < cfg.batch; ++b) {
+              std::int64_t k;
+              switch (cfg.mix.pick(rng)) {
+                case YcsbOp::kRead: {
+                  if (cfg.mix.read_latest) {
+                    const std::uint64_t hi =
+                        frontier.load(std::memory_order_relaxed);
+                    const std::uint64_t back = zipf.next(rng) % hi;
+                    k = static_cast<std::int64_t>(hi - 1 - back);
+                  } else {
+                    k = static_cast<std::int64_t>(zipf.next_scrambled(rng));
+                  }
+                  get_keys.push_back(k);
+                  get_is_rmw.push_back(0);
+                  get_expect.push_back(0);
+                  get_veridx.push_back(0);
+                  break;
+                }
+                case YcsbOp::kUpdate:
+                  k = static_cast<std::int64_t>(zipf.next_scrambled(rng));
+                  put_store.emplace_back(k, ycsb_value(k, cfg.value_bytes));
+                  break;
+                case YcsbOp::kInsert:
+                  k = static_cast<std::int64_t>(
+                      frontier.fetch_add(1, std::memory_order_relaxed));
+                  put_store.emplace_back(k, ycsb_value(k, cfg.value_bytes));
+                  break;
+                case YcsbOp::kRmw: {
+                  const std::uint64_t r0 = zipf.next_scrambled(rng);
+                  std::uint64_t kk =
+                      r0 - r0 % nthreads + static_cast<std::uint64_t>(t);
+                  if (kk >= cfg.record_count) kk -= nthreads;
+                  k = static_cast<std::int64_t>(kk);
+                  const std::size_t idx =
+                      static_cast<std::size_t>(kk / nthreads);
+                  // rmw_version is only advanced after the batch commits,
+                  // so it is the pre-batch version every in-batch read of
+                  // this key must observe; prior occurrences in this
+                  // batch bump the version this occurrence writes.
+                  const std::uint64_t base = rmw_version[idx];
+                  std::uint64_t occ = 0;
+                  for (std::size_t j = 0; j < get_veridx.size(); ++j) {
+                    if (get_is_rmw[j] && get_veridx[j] == idx) ++occ;
+                  }
+                  get_keys.push_back(k);
+                  get_is_rmw.push_back(1);
+                  get_expect.push_back(base);
+                  get_veridx.push_back(idx);
+                  put_store.emplace_back(
+                      k, ycsb_value(k, cfg.value_bytes, base + occ + 1));
+                  break;
+                }
+                case YcsbOp::kScan:
+                  break;  // rejected above; unreachable
+              }
+            }
+            if (!get_keys.empty()) {
+              const auto res = kv.multi_get(get_keys);
+              for (std::size_t j = 0; j < get_keys.size(); ++j) {
+                const std::int64_t gk = get_keys[j];
+                if (!res[j]) {
+                  ++local.misses;
+                  if (get_is_rmw[j]) ++local.lost;
+                } else if (!ycsb_value_matches(gk, *res[j],
+                                               cfg.value_bytes)) {
+                  ++local.mismatches;
+                } else if (get_is_rmw[j] &&
+                           *res[j] != ycsb_value(gk, cfg.value_bytes,
+                                                 get_expect[j])) {
+                  ++local.lost;
+                }
+              }
+            }
+            if (!put_store.empty()) {
+              put_view.clear();
+              for (const auto& [pk, pv] : put_store) {
+                put_view.emplace_back(pk, std::string_view(pv));
+              }
+              kv.multi_put(put_view);
+              for (std::size_t j = 0; j < get_veridx.size(); ++j) {
+                if (get_is_rmw[j]) ++rmw_version[get_veridx[j]];
+              }
+            }
+            local.ops += cfg.batch;
+          }
+          per_thread[static_cast<std::size_t>(t)] = local;
+          return;
+        }
       }
       while (!stop.load(std::memory_order_relaxed)) {
         std::int64_t k;

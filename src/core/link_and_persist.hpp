@@ -101,6 +101,60 @@ class lap_word {
     return cas(expected, desired, pflag);
   }
 
+  // --- deferred-fence publication (batched operations) --------------------
+  // Mirrors persist<>::cas_deferred: the publish installs `desired |
+  // DIRTY`, flushes, and returns with the flag still up, so readers keep
+  // flushing the line until the caller's single batch-covering pfence and
+  // the complete_deferred() that clears the flag. The helping path for a
+  // *foreign* dirty word is unchanged (it must fence — that pending store
+  // is not part of our batch).
+
+  static constexpr bool needs_completion = true;
+
+  bool cas_deferred(T& expected, T desired,
+                    bool pflag = default_pflag) noexcept {
+    const std::uintptr_t exp = bits(expected);
+    const std::uintptr_t des_clean = bits(desired);
+    for (;;) {
+      std::uintptr_t w = val_.load(std::memory_order_acquire);
+      if (w & kDirty) {
+        // Foreign pending store: help persist and clear it exactly as the
+        // fully fenced cas() does.
+        pmem::pwb(&val_);
+        pmem::pfence();
+        val_.compare_exchange_strong(w, w & ~kDirty,
+                                     std::memory_order_acq_rel,
+                                     std::memory_order_acquire);
+        w &= ~kDirty;
+      }
+      if (w != exp) {
+        expected = as_value(w);
+        return false;
+      }
+      std::uintptr_t e = exp;
+      const std::uintptr_t des = pflag ? (des_clean | kDirty) : des_clean;
+      if (val_.compare_exchange_strong(e, des, std::memory_order_seq_cst,
+                                       std::memory_order_acquire)) {
+        if (pflag) pmem::pwb(&val_);
+        return true;  // dirty flag stays up until complete_deferred()
+      }
+      if ((e & ~kDirty) != exp) {
+        expected = as_value(e);
+        return false;
+      }
+      // Lost a race on the flag bit only; renormalize and retry.
+    }
+  }
+
+  /// Clear our dirty flag after the batch-covering pfence — unless a newer
+  /// store already replaced the word (its writer owns the flag now).
+  void complete_deferred(T desired) noexcept {
+    std::uintptr_t d = bits(desired) | kDirty;
+    val_.compare_exchange_strong(d, bits(desired),
+                                 std::memory_order_acq_rel,
+                                 std::memory_order_relaxed);
+  }
+
   // --- private accesses (unpublished nodes) -------------------------------
 
   T load_private(bool /*pflag*/ = default_pflag) const noexcept {

@@ -146,6 +146,65 @@ class persist {
     return cas(expected, desired, pflag);
   }
 
+  // --- deferred-fence publication (batched operations) --------------------
+  // The flit counter exists to decouple visibility from persistence: while
+  // a location is tagged, every p-load flushes it, so a store may be
+  // observed before its own fence without breaking durable linearizability.
+  // A batch of publications stretches that window deliberately: each
+  // publish tags, CASes and pwbs its word but leaves it TAGGED, the caller
+  // issues ONE pfence covering the whole batch, and only then untags every
+  // published word (Condition 3: value persisted before untag). The
+  // leading per-store fence of Algorithm 4 is replaced by the batch-level
+  // fence the caller issued over the publications' dependencies (the fully
+  // flushed value records) before the first publish — see
+  // kv::Store::multi_put for the end-to-end protocol and ARCHITECTURE.md
+  // for the safety argument.
+
+  /// True if a successful cas_deferred leaves per-word state that
+  /// complete_deferred must clean up (tag-counter placements). Plain
+  /// words need no completion (p-loads always flush) and volatile words
+  /// have no persistence protocol at all.
+  static constexpr bool needs_completion =
+      kind == CounterKind::kAdjacent || kind == CounterKind::kExternal;
+
+  /// Publication CAS with the trailing fence deferred to the caller: on
+  /// success the word stays tagged (and flushed); the caller must issue a
+  /// pfence covering this pwb and then call complete_deferred(). A failed
+  /// CAS restores the counter and leaves nothing pending.
+  bool cas_deferred(T& expected, T desired,
+                    bool pflag = default_pflag) noexcept
+    requires std::has_unique_object_representations_v<T>
+  {
+    if constexpr (kind == CounterKind::kVolatile) {
+      return val_.compare_exchange_strong(expected, desired,
+                                          std::memory_order_seq_cst,
+                                          std::memory_order_acquire);
+    }
+    if (!pflag) {
+      return val_.compare_exchange_strong(expected, desired,
+                                          std::memory_order_seq_cst,
+                                          std::memory_order_acquire);
+    }
+    tag();
+    const bool ok = val_.compare_exchange_strong(expected, desired,
+                                                 std::memory_order_seq_cst,
+                                                 std::memory_order_acquire);
+    if (!ok) {
+      untag();
+      return false;
+    }
+    pmem::pwb(&val_);
+    return true;  // still tagged: readers flush until complete_deferred()
+  }
+
+  /// Second half of cas_deferred, called after the batch-covering pfence.
+  /// `desired` is unused here (the tag counter needs no value); the
+  /// parameter keeps the signature uniform with lap_word, whose dirty bit
+  /// lives in the word itself.
+  void complete_deferred(T /*desired*/) noexcept {
+    if constexpr (needs_completion) untag();
+  }
+
   /// Shared exchange (swap) flit-instruction.
   T exchange(T v, bool pflag = default_pflag) noexcept {
     if constexpr (kind == CounterKind::kVolatile) {

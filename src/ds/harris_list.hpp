@@ -33,6 +33,7 @@
 #include <type_traits>
 
 #include "core/modes.hpp"
+#include "ds/batch.hpp"
 #include "ds/tagged_ptr.hpp"
 #include "pmem/pool.hpp"
 #include "recl/ebr.hpp"
@@ -136,6 +137,31 @@ class HarrisList {
     }
   }
 
+  /// Batched upsert: identical set semantics to upsert(), but the publish
+  /// (value-word replace or fresh-node link) is a deferred-fence CAS
+  /// enlisted in `batch`, and no per-op completion fence is issued — the
+  /// caller pays one pfence for the whole batch and then
+  /// batch.complete_all() (see ds/batch.hpp and kv::Store::multi_put).
+  /// Precondition: everything `v` points at is already flushed, and the
+  /// caller fences those flushes before the first publish of the batch.
+  std::optional<V> upsert_batched(K k, V v, PublishBatch& batch)
+    requires std::is_pointer_v<V>
+  {
+    recl::Ebr::Guard g;
+    for (;;) {
+      auto [pred, curr] = search(k);
+      if (curr->key.load(Method::critical_load) == k) {
+        if (std::optional<V> old = replace_value_deferred(
+                curr->value, v, Method::critical_load,
+                Method::critical_store, batch)) {
+          return old;
+        }
+        continue;
+      }
+      if (try_link(k, v, pred, curr, &batch)) return std::nullopt;
+    }
+  }
+
   /// Remove k. Returns false if k is absent.
   bool remove(K k) { return remove_get(k).has_value(); }
 
@@ -189,6 +215,16 @@ class HarrisList {
   /// Lookup returning the value. A claimed (marked) pointer value means
   /// the node's removal linearized before our read: absent.
   std::optional<V> find(K k) const {
+    std::optional<V> out = find_batched(k);
+    Words::operation_completion();
+    return out;
+  }
+
+  /// find() minus the per-op completion fence: a batch of lookups shares
+  /// one completion fence, issued by the caller after the last lookup
+  /// (flush-if-tagged pwbs from the searches stay pending until then, so
+  /// nothing the batch observed escapes to the outside unpersisted).
+  std::optional<V> find_batched(K k) const {
     recl::Ebr::Guard g;
     auto [pred, curr] = const_cast<HarrisList*>(this)->search(k);
     (void)pred;
@@ -197,8 +233,18 @@ class HarrisList {
       const V v = curr->value.load(Method::transition_load);
       if (!value_is_claimed(v)) out = v;
     }
-    Words::operation_completion();
     return out;
+  }
+
+  /// Prefetch the first probe targets of a later operation on this list:
+  /// the head sentinel's line and the first linked node. Purely a memory
+  /// hint — it dereferences nothing beyond one relaxed pointer load, so it
+  /// is safe with or without an EBR guard (a stale prefetch address is
+  /// harmless). Batched operations call this for key i+1 while key i's
+  /// cache misses are outstanding.
+  void prepare(K /*k*/) const noexcept {
+    __builtin_prefetch(head_);
+    __builtin_prefetch(without_mark(head_->next.load_private()));
   }
 
   /// Number of reachable (unmarked) keys; single-threaded use only.
@@ -253,12 +299,22 @@ class HarrisList {
   /// computed: build the node, persist it, publish it with the critical
   /// CAS. False — node freed, nothing published — if the CAS lost; the
   /// caller re-searches and retries. Shared by insert and upsert so the
-  /// publish/durability sequence exists exactly once.
-  bool try_link(K k, V v, Node* pred, Node* curr) {
+  /// publish/durability sequence exists exactly once. With a non-null
+  /// `batch` the publish CAS defers its trailing fence to the batch (the
+  /// node-init persist keeps its own fence either way: the node's bytes
+  /// must be durable before the link can be observed, and they were
+  /// flushed after the batch's record fence).
+  bool try_link(K k, V v, Node* pred, Node* curr,
+                PublishBatch* batch = nullptr) {
     Node* node = pmem::pnew<Node>(k, v, curr);
     if (Method::persist_node_init) Words::persist_obj(node);
     Node* expected = curr;
-    if (pred->next.cas(expected, node, Method::critical_store)) {
+    if (batch != nullptr) {
+      if (pred->next.cas_deferred(expected, node, Method::critical_store)) {
+        if (Method::critical_store) batch->enlist(pred->next, node);
+        return true;
+      }
+    } else if (pred->next.cas(expected, node, Method::critical_store)) {
       return true;
     }
     pmem::pdelete(node);  // never published; immediate free is safe

@@ -13,6 +13,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "ds/batch.hpp"
 #include "ds/harris_list.hpp"
 
 namespace flit::ds {
@@ -68,6 +69,24 @@ class HashTable {
   std::optional<V> remove_get(K k) { return bucket(k).remove_get(k); }
   bool contains(K k) const { return bucket(k).contains(k); }
   std::optional<V> find(K k) const { return bucket(k).find(k); }
+
+  // --- batched multi-op hooks (see HarrisList) -----------------------------
+
+  /// Prefetch k's bucket chain entry (the hash pick plus the sentinel and
+  /// first node lines) ahead of a later operation on k.
+  void prepare(K k) const noexcept { bucket(k).prepare(k); }
+  /// Lookup without the per-op completion fence; the caller fences once
+  /// per batch.
+  std::optional<V> find_batched(K k) const {
+    return bucket(k).find_batched(k);
+  }
+  /// Upsert whose publish defers its fence to `batch` (see
+  /// HarrisList::upsert_batched).
+  std::optional<V> upsert_batched(K k, V v, PublishBatch& batch)
+    requires std::is_pointer_v<V>
+  {
+    return bucket(k).upsert_batched(k, v, batch);
+  }
 
   std::size_t bucket_count() const noexcept { return buckets_.size(); }
 

@@ -24,6 +24,7 @@
 #include <type_traits>
 
 #include "core/modes.hpp"
+#include "ds/batch.hpp"
 #include "ds/tagged_ptr.hpp"
 #include "pmem/pool.hpp"
 #include "recl/ebr.hpp"
@@ -131,6 +132,35 @@ class SkipList {
     }
   }
 
+  /// Batched upsert: identical set semantics to upsert(), but the publish
+  /// (value-word replace or the fresh tower's bottom-level link) is a
+  /// deferred-fence CAS enlisted in `batch`, and no per-op completion
+  /// fence is issued — the caller pays one pfence for the whole batch and
+  /// then batch.complete_all() (see ds/batch.hpp and
+  /// kv::Store::multi_put). Index-level linking is unchanged (it never
+  /// decides set membership).
+  std::optional<V> upsert_batched(K k, V v, PublishBatch& batch)
+    requires std::is_pointer_v<V>
+  {
+    recl::Ebr::Guard g;
+    Node* preds[kMaxLevel];
+    Node* succs[kMaxLevel];
+    const int height = random_height();
+    for (;;) {
+      if (find(k, preds, succs)) {
+        if (std::optional<V> old = replace_value_deferred(
+                succs[0]->value, v, Method::critical_load,
+                Method::critical_store, batch)) {
+          return old;
+        }
+        continue;  // claimed by a removal: re-find (helps unlink), insert
+      }
+      if (try_link(k, v, height, preds, succs, &batch)) {
+        return std::nullopt;
+      }
+    }
+  }
+
   bool remove(K k) { return remove_get(k).has_value(); }
 
   /// Remove k, returning the removed value (nullopt if k is absent).
@@ -209,6 +239,15 @@ class SkipList {
   /// Lookup returning the value. A claimed (marked) pointer value means
   /// the node's removal linearized before our read: absent.
   std::optional<V> find_value(K k) const {
+    std::optional<V> out = find_batched(k);
+    Words::operation_completion();
+    return out;
+  }
+
+  /// find_value() minus the per-op completion fence: a batch of lookups
+  /// shares one completion fence, issued by the caller after the last
+  /// lookup.
+  std::optional<V> find_batched(K k) const {
     recl::Ebr::Guard g;
     Node* preds[kMaxLevel];
     Node* succs[kMaxLevel];
@@ -217,8 +256,18 @@ class SkipList {
       const V v = succs[0]->value.load(Method::transition_load);
       if (!value_is_claimed(v)) out = v;
     }
-    Words::operation_completion();
     return out;
+  }
+
+  /// Prefetch the first probe targets of a later operation: the head
+  /// tower's top-level link word (where every descent starts) and its
+  /// successor node. Purely a memory hint — one relaxed pointer load, no
+  /// dereference — safe with or without an EBR guard. Batched operations
+  /// call this for key i+1 while key i's cache misses are outstanding.
+  void prepare(K /*k*/) const noexcept {
+    __builtin_prefetch(head_);
+    __builtin_prefetch(&head_->next[kMaxLevel - 1]);
+    __builtin_prefetch(without_mark(head_->next[kMaxLevel - 1].load_private()));
   }
 
   /// Reachable key count at the bottom level; single-threaded use only.
@@ -333,8 +382,12 @@ class SkipList {
   /// here only degrades the index). Returns false — node freed, nothing
   /// published — if the bottom-level CAS lost; the caller re-finds and
   /// retries. May itself call find() while fixing up index levels, so
-  /// preds/succs are clobbered either way.
-  bool try_link(K k, V v, int height, Node** preds, Node** succs) {
+  /// preds/succs are clobbered either way. With a non-null `batch` the
+  /// bottom-level publish defers its trailing fence to the batch (the
+  /// tower persist keeps its own fence: the node's bytes must be durable
+  /// before the link can be observed).
+  bool try_link(K k, V v, int height, Node** preds, Node** succs,
+                PublishBatch* batch = nullptr) {
     Node* node = alloc_node(k, v, height);
     for (int i = 0; i < height; ++i) {
       node->next[i].store_private(succs[i], kVolatile);
@@ -342,7 +395,18 @@ class SkipList {
     if (Method::persist_node_init) persist_node(node);
 
     Node* expected = succs[0];
-    if (!preds[0]->next[0].cas(expected, node, Method::critical_store)) {
+    bool linked;
+    if (batch != nullptr) {
+      linked =
+          preds[0]->next[0].cas_deferred(expected, node,
+                                         Method::critical_store);
+      if (linked && Method::critical_store) {
+        batch->enlist(preds[0]->next[0], node);
+      }
+    } else {
+      linked = preds[0]->next[0].cas(expected, node, Method::critical_store);
+    }
+    if (!linked) {
       free_node_now(node);  // never published
       return false;
     }

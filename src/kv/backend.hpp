@@ -24,6 +24,10 @@
 //   std::optional<Record*> remove_get(Key);   // unique unlink ownership
 //   std::optional<Record*> find(Key);
 //   bool contains(Key);
+//   void prepare(Key);                        // prefetch probe entry
+//   std::optional<Record*> find_batched(Key); // lookup, caller fences batch
+//   std::optional<Record*> upsert_batched(Key, Record*, ds::PublishBatch&);
+//                                             // deferred-fence publication
 //   std::size_t count();                      // O(data) reachable sweep
 //   void release();                           // disown persisted nodes
 //   for_each_linked(f);                       // recovery sweep, see below
@@ -53,6 +57,7 @@
 #include <optional>
 #include <stdexcept>
 
+#include "ds/batch.hpp"
 #include "ds/hash_table.hpp"
 #include "ds/skiplist.hpp"
 #include "kv/shard.hpp"
@@ -89,6 +94,14 @@ class HashBackend {
   std::optional<Record*> remove_get(Key k) { return table_.remove_get(k); }
   std::optional<Record*> find(Key k) const { return table_.find(k); }
   bool contains(Key k) const { return table_.contains(k); }
+  void prepare(Key k) const noexcept { table_.prepare(k); }
+  std::optional<Record*> find_batched(Key k) const {
+    return table_.find_batched(k);
+  }
+  std::optional<Record*> upsert_batched(Key k, Record* r,
+                                        ds::PublishBatch& batch) {
+    return table_.upsert_batched(k, r, batch);
+  }
   std::size_t count() const { return table_.size(); }
   void release() noexcept { table_.release(); }
 
@@ -184,6 +197,14 @@ class OrderedBackend {
   std::optional<Record*> remove_get(Key k) { return list_.remove_get(k); }
   std::optional<Record*> find(Key k) const { return list_.find_value(k); }
   bool contains(Key k) const { return list_.contains(k); }
+  void prepare(Key k) const noexcept { list_.prepare(k); }
+  std::optional<Record*> find_batched(Key k) const {
+    return list_.find_batched(k);
+  }
+  std::optional<Record*> upsert_batched(Key k, Record* r,
+                                        ds::PublishBatch& batch) {
+    return list_.upsert_batched(k, r, batch);
+  }
   std::size_t count() const { return list_.size(); }
   void release() noexcept { list_.release(); }
 

@@ -41,6 +41,7 @@
 #include <utility>
 #include <vector>
 
+#include "ds/batch.hpp"
 #include "ds/tagged_ptr.hpp"
 #include "pmem/pool.hpp"
 #include "recl/ebr.hpp"
@@ -73,8 +74,13 @@ struct Record {
   }
 
   /// Allocate a record in the persistent pool and, when `persistent`, make
-  /// its bytes durable before the caller publishes a pointer to it.
-  template <bool persistent>
+  /// its bytes durable before the caller publishes a pointer to it. With
+  /// `fence = false` the bytes are flushed (one pwb per line) but the
+  /// pfence is left to the caller, who batches many records and fences
+  /// ONCE before publishing any of them (see Store::multi_put) —
+  /// persist-before-publish per record is preserved while the fence cost
+  /// drops from O(batch) to O(1).
+  template <bool persistent, bool fence = true>
   static Record* create(std::string_view value) {
     if (value.size() > kMaxValueBytes) {
       throw std::length_error("kv::Record: value too large");
@@ -84,7 +90,11 @@ struct Record {
     r->len = static_cast<std::uint32_t>(value.size());
     if (!value.empty()) std::memcpy(r->data(), value.data(), value.size());
     if constexpr (persistent) {
-      pmem::persist_range(r, bytes(value.size()));
+      if constexpr (fence) {
+        pmem::persist_range(r, bytes(value.size()));
+      } else {
+        pmem::pwb_range(r, bytes(value.size()));
+      }
     }
     return r;
   }
@@ -204,6 +214,44 @@ class Shard {
     return !reserved_key(k) && backend_.contains(k);
   }
 
+  // --- batched multi-op path (see Store::multi_get / multi_put) -----------
+
+  /// Prefetch the backend's probe entry for an upcoming operation on k —
+  /// called for key i+1 while key i's cache misses are outstanding.
+  void prepare(Key k) const noexcept {
+    if (!reserved_key(k)) backend_.prepare(k);
+  }
+
+  /// Batched lookup: like get(), but without the per-op completion fence
+  /// (the caller fences once per batch) and under the *caller's*
+  /// Ebr::Guard, which must span the call — the returned string is copied
+  /// from the record under that guard.
+  std::optional<std::string> get_batched(Key k) const {
+    if (reserved_key(k)) return std::nullopt;
+    const std::optional<Record*> rec = backend_.find_batched(k);
+    if (!rec) return std::nullopt;
+    return std::string((*rec)->view());
+  }
+
+  /// Batched insert-or-overwrite of a record the caller has already
+  /// flushed and fenced (Record::create<persistent, false> + one batch
+  /// pfence). The publish is a deferred-fence CAS enlisted in `batch`; a
+  /// superseded record is appended to `superseded` instead of retired
+  /// here — the caller may retire it only AFTER the batch's covering
+  /// pfence, because until the new link is durable, recycling the old
+  /// record's bytes could leave a crash image whose (still old) link
+  /// points at clobbered storage. Returns true on a fresh insert.
+  bool put_batched(Key k, Record* rec, ds::PublishBatch& batch,
+                   std::vector<Record*>& superseded) {
+    if (std::optional<Record*> old =
+            backend_.upsert_batched(k, rec, batch)) {
+      superseded.push_back(*old);
+      return false;
+    }
+    approx_size_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
   /// Approximate key count, O(1): a relaxed counter bumped at each
   /// linearized insert/remove. Exact whenever the shard is quiescent
   /// (every linearized operation is counted exactly once); under
@@ -301,8 +349,13 @@ class Shard {
   explicit Shard(Backend&& b) noexcept : backend_(std::move(b)) {}
 
   Backend backend_;
-  /// Linearized inserts minus removes; see size().
-  std::atomic<std::ptrdiff_t> approx_size_{0};
+  /// Linearized inserts minus removes; see size(). Cache-line aligned:
+  /// shards live contiguously in Store's vector, and without the
+  /// alignment two neighboring shards' hot counters (or a counter and the
+  /// neighbor's backend state) can share a line — the same false-sharing
+  /// collapse the paper demonstrates in §6 for flit counters packed into
+  /// one cache line.
+  alignas(64) std::atomic<std::ptrdiff_t> approx_size_{0};
 };
 
 }  // namespace flit::kv

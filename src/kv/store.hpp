@@ -69,6 +69,7 @@
 #include <cstdint>
 #include <limits>
 #include <optional>
+#include <span>
 #include <stdexcept>
 #include <string>
 #include <string_view>
@@ -395,6 +396,161 @@ class Store {
 
   bool contains(Key k) const { return shard_for(k).contains(k); }
 
+  // --- batched multi-operations --------------------------------------------
+  // Real serving traffic arrives in batches (RPC multi-get, pipelined
+  // writes). The multi-ops exploit that three ways: (1) ops are grouped by
+  // destination shard, so consecutive probes share shard-local state; (2)
+  // lookups are pipelined — while key i's cache miss is outstanding, key
+  // i+1's probe entry is software-prefetched; (3) writes coalesce their
+  // persistence: all of a batch's records are flushed and fenced ONCE
+  // before any is published, the publish CASes defer their trailing
+  // fences to one shared pfence, and only then are the published words
+  // untagged. Per-element durability-before-publication is preserved —
+  // see ARCHITECTURE.md ("Batched multi-op path") for the full argument.
+  // Scalar get/put/remove are untouched.
+
+  /// Batched get: out[i] corresponds to keys[i] (nullopt if absent; a
+  /// reserved sentinel key is simply absent, as in get()). Duplicate keys
+  /// are looked up independently. Each returned value is a private,
+  /// never-torn copy; one completion fence covers the whole batch.
+  std::vector<std::optional<std::string>> multi_get(
+      std::span<const Key> keys) const {
+    const std::size_t n = keys.size();
+    std::vector<std::optional<std::string>> out(n);
+    if (n == 0) return out;
+    std::vector<std::uint32_t> sidx, order;
+    group_by_shard(
+        n, [&](std::size_t i) { return keys[i]; }, sidx, order);
+    {
+      recl::Ebr::Guard g;  // spans every lookup + record copy
+      for (std::size_t pos = 0; pos < n; ++pos) {
+        if (pos + 1 < n) {
+          const std::uint32_t j = order[pos + 1];
+          shards_[sidx[j]].prepare(keys[j]);
+        }
+        const std::uint32_t i = order[pos];
+        out[i] = shards_[sidx[i]].get_batched(keys[i]);
+      }
+    }
+    Words::operation_completion();  // one fence for the whole batch
+    return out;
+  }
+
+  /// Batched insert-or-overwrite: out[i] is the fresh-insert flag of
+  /// kvs[i] (exactly put()'s return). Elements are applied in batch order
+  /// — with duplicate keys in one batch, every occurrence is applied and
+  /// the LAST one's value wins (each earlier record is superseded and
+  /// retired exactly once).
+  ///
+  /// Durability: every record in the batch is flushed and covered by a
+  /// single pfence before the first element is published; each publish
+  /// leaves its word tagged/dirty until one final pfence covers them all,
+  /// so a concurrent reader that observes an element before that fence
+  /// flushes the word itself (flit-if-tagged). A crash recovers each
+  /// element independently as fully applied or not at all — never torn.
+  ///
+  /// Errors: a reserved sentinel key or an oversized value throws
+  /// (std::invalid_argument / std::length_error) before ANY element is
+  /// applied. std::bad_alloc on a full pool can leave a prefix of the
+  /// batch applied (each applied element is complete; the rest are not
+  /// applied at all).
+  std::vector<bool> multi_put(
+      std::span<const std::pair<Key, std::string_view>> kvs) {
+    const std::size_t n = kvs.size();
+    std::vector<bool> fresh(n, false);
+    if (n == 0) return fresh;
+    for (const auto& [k, v] : kvs) {
+      if (Shard_::reserved_key(k)) {
+        throw std::invalid_argument("kv: INT64_MIN/INT64_MAX are reserved");
+      }
+      (void)v;
+    }
+    std::vector<std::uint32_t> sidx, order;
+    group_by_shard(
+        n, [&](std::size_t i) { return kvs[i].first; }, sidx, order);
+
+    // Phase 1: create + flush every record, then ONE fence. Nothing is
+    // published yet, so any throw here just frees the private records.
+    std::vector<Record*> recs(n, nullptr);
+    std::size_t created = 0;
+    try {
+      for (; created < n; ++created) {
+        recs[created] =
+            Record::create<Backend_::kPersistent, /*fence=*/false>(
+                kvs[created].second);
+      }
+    } catch (...) {
+      for (std::size_t i = 0; i < created; ++i) {
+        pmem::Pool::instance().dealloc(recs[i], Record::bytes(recs[i]->len));
+      }
+      throw;
+    }
+    if constexpr (Backend_::kPersistent) pmem::pfence();
+
+    // Phase 2: publish shard by shard with deferred fences, prefetching
+    // the next element's probe entry while the current one is in flight.
+    // Superseded records are collected, NOT retired yet: until the final
+    // fence lands, a crash image can still hold the old link, and retired
+    // storage could be recycled under it.
+    ds::PublishBatch batch;
+    batch.reserve(n);  // enlist must be nofail: it runs post-publish
+    std::vector<Record*> superseded;
+    superseded.reserve(n);
+    std::size_t done = 0;
+    try {
+      recl::Ebr::Guard g;
+      for (std::size_t pos = 0; pos < n; ++pos) {
+        if (pos + 1 < n) {
+          const std::uint32_t j = order[pos + 1];
+          shards_[sidx[j]].prepare(kvs[j].first);
+        }
+        const std::uint32_t i = order[pos];
+        fresh[i] =
+            shards_[sidx[i]].put_batched(kvs[i].first, recs[i], batch,
+                                         superseded);
+        ++done;
+      }
+    } catch (...) {
+      // Publishes so far must still become durable and untagged; the
+      // failing element's record (and any never-reached ones) were never
+      // published and are freed in place.
+      commit_publishes(batch, superseded);
+      for (std::size_t pos = done; pos < n; ++pos) {
+        Record* r = recs[order[pos]];
+        pmem::Pool::instance().dealloc(r, Record::bytes(r->len));
+      }
+      throw;
+    }
+
+    // Phase 3: one fence covers every publish pwb, then untag/clear and
+    // retire the superseded records.
+    commit_publishes(batch, superseded);
+    return fresh;
+  }
+
+  /// Batched remove: out[i] is remove()'s return for keys[i] (reserved
+  /// sentinel keys report false). Elements are applied in batch order;
+  /// grouping and prefetching amortize the probes, but each removal keeps
+  /// its own durable mark CAS — fence coalescing targets the put path,
+  /// where records dominate the persistence bill.
+  std::vector<bool> multi_remove(std::span<const Key> keys) {
+    const std::size_t n = keys.size();
+    std::vector<bool> out(n, false);
+    if (n == 0) return out;
+    std::vector<std::uint32_t> sidx, order;
+    group_by_shard(
+        n, [&](std::size_t i) { return keys[i]; }, sidx, order);
+    for (std::size_t pos = 0; pos < n; ++pos) {
+      if (pos + 1 < n) {
+        const std::uint32_t j = order[pos + 1];
+        shards_[sidx[j]].prepare(keys[j]);
+      }
+      const std::uint32_t i = order[pos];
+      out[i] = shards_[sidx[i]].remove(keys[i]);
+    }
+    return out;
+  }
+
   /// Ordered stores only: up to `n` pairs with key >= start, in ascending
   /// key order, merged across shard boundaries (range partitioning keeps
   /// shard ranges disjoint and ordered, so the merge is concatenation).
@@ -615,6 +771,46 @@ class Store {
   Shard_& shard_for(Key k) noexcept { return shards_[shard_index(k)]; }
   const Shard_& shard_for(Key k) const noexcept {
     return shards_[shard_index(k)];
+  }
+
+  /// Stable counting sort of a batch by destination shard: sidx[i] is
+  /// element i's shard, order[] lists element indices shard-major with
+  /// batch order preserved within each shard (duplicate keys apply in
+  /// submission order — the documented last-wins semantics depend on this
+  /// stability).
+  template <class KeyOf>
+  void group_by_shard(std::size_t n, KeyOf key_of,
+                      std::vector<std::uint32_t>& sidx,
+                      std::vector<std::uint32_t>& order) const {
+    sidx.resize(n);
+    order.resize(n);
+    std::vector<std::uint32_t> offset(shards_.size(), 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      sidx[i] = static_cast<std::uint32_t>(shard_index(key_of(i)));
+      ++offset[sidx[i]];
+    }
+    std::uint32_t sum = 0;
+    for (std::uint32_t& o : offset) {
+      const std::uint32_t c = o;
+      o = sum;
+      sum += c;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      order[offset[sidx[i]]++] = static_cast<std::uint32_t>(i);
+    }
+  }
+
+  /// multi_put's closing sequence: one pfence covering every deferred
+  /// publish pwb, THEN untag/clear the published words (Condition 3), and
+  /// only then retire the superseded records — retiring before the fence
+  /// could let the old records' storage be recycled while a crash image
+  /// still holds links to them.
+  static void commit_publishes(ds::PublishBatch& batch,
+                               std::vector<Record*>& superseded) {
+    if constexpr (Backend_::kPersistent) pmem::pfence();
+    batch.complete_all();
+    for (Record* r : superseded) Record::retire(r);
+    superseded.clear();
   }
 
   std::vector<Shard_> shards_;

@@ -124,15 +124,23 @@ inline void pfence() noexcept {
   }
 }
 
-/// Flush and fence an arbitrary byte range (initialization helper): one pwb
-/// per spanned cache line followed by a single pfence.
-inline void persist_range(const void* p, std::size_t len) noexcept {
+/// Flush an arbitrary byte range without fencing: one pwb per spanned
+/// cache line. The caller owes the pfence — the batched KV write path
+/// uses this to flush a whole batch of value records and then pay a
+/// single fence for all of them (see kv::Store::multi_put).
+inline void pwb_range(const void* p, std::size_t len) noexcept {
   const auto addr = reinterpret_cast<std::uintptr_t>(p);
   const std::size_t n = lines_spanned(addr, len);
   std::uintptr_t line = line_base(addr);
   for (std::size_t i = 0; i < n; ++i, line += kCacheLineSize) {
     pwb(reinterpret_cast<const void*>(line));
   }
+}
+
+/// Flush and fence an arbitrary byte range (initialization helper): one pwb
+/// per spanned cache line followed by a single pfence.
+inline void persist_range(const void* p, std::size_t len) noexcept {
+  pwb_range(p, len);
   pfence();
 }
 

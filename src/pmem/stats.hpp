@@ -33,7 +33,12 @@ struct StatsSnapshot {
 
 namespace detail {
 
-struct ThreadStats {
+/// One thread's counter block. Cache-line aligned: the blocks are
+/// heap-allocated one per thread, and consecutive registrations would
+/// otherwise land adjacent — two threads bumping hot counters on one
+/// shared line, the same false-sharing collapse the paper measures in §6
+/// when flit counters are packed into a single cache line.
+struct alignas(64) ThreadStats {
   std::uint64_t pwbs = 0;
   std::uint64_t pfences = 0;
 };

@@ -294,6 +294,58 @@ TEST_F(KvOrderedTest, OverwriteChurnNeverHidesKeysFromGetsOrScans) {
   }
 }
 
+TEST_F(KvOrderedTest, MultiOpsMatchScalarOnTheOrderedStore) {
+  // The batched path routes through the range partition: a cross-shard
+  // batch must behave exactly like the scalar loop, and a scan after a
+  // multi_put must see every element in order.
+  Ordered kv(4, 64, KeyRange{0, 1'000});
+  std::vector<std::pair<K, std::string_view>> kvs;
+  std::vector<std::string> store;
+  for (K k = 0; k < 1'000; k += 37) {
+    store.push_back("v" + std::to_string(k));
+  }
+  std::size_t i = 0;
+  for (K k = 0; k < 1'000; k += 37) kvs.emplace_back(k, store[i++]);
+  const auto fresh = kv.multi_put(kvs);
+  for (const bool f : fresh) EXPECT_TRUE(f);
+  EXPECT_EQ(kv.size(), kvs.size());
+
+  // multi_get across every shard, with misses interleaved.
+  std::vector<K> keys;
+  for (K k = 0; k < 1'000; k += 19) keys.push_back(k);
+  const auto got = kv.multi_get(keys);
+  for (std::size_t j = 0; j < keys.size(); ++j) {
+    EXPECT_EQ(got[j], kv.get(keys[j])) << "key " << keys[j];
+  }
+
+  // A scan sees the batch's elements in ascending order.
+  const auto scanned = kv.scan(0, kvs.size() + 10);
+  ASSERT_EQ(scanned.size(), kvs.size());
+  for (std::size_t j = 0; j < scanned.size(); ++j) {
+    EXPECT_EQ(scanned[j].first, kvs[j].first);
+    EXPECT_EQ(scanned[j].second, kvs[j].second);
+  }
+
+  // Batched overwrite of every other key; scans observe the new values.
+  std::vector<std::pair<K, std::string_view>> over;
+  for (std::size_t j = 0; j < kvs.size(); j += 2) {
+    over.emplace_back(kvs[j].first, "new");
+  }
+  const auto fresh2 = kv.multi_put(over);
+  for (const bool f : fresh2) EXPECT_FALSE(f) << "overwrites, not inserts";
+  const auto rescanned = kv.scan(0, kvs.size() + 10);
+  ASSERT_EQ(rescanned.size(), kvs.size());
+  for (std::size_t j = 0; j < rescanned.size(); ++j) {
+    EXPECT_EQ(rescanned[j].second, j % 2 == 0 ? "new" : store[j]) << j;
+  }
+
+  // multi_remove across shards, scan shrinks accordingly.
+  std::vector<K> dead;
+  for (std::size_t j = 1; j < kvs.size(); j += 2) dead.push_back(kvs[j].first);
+  for (const bool r : kv.multi_remove(dead)) EXPECT_TRUE(r);
+  EXPECT_EQ(kv.scan(0, 1'000).size(), kvs.size() - dead.size());
+}
+
 TEST_F(KvOrderedTest, ReservedSentinelKeysAuditOnTheOrderedStore) {
   // scan()'s contract at the reserved sentinel keys (audited per the
   // issue): INT64_MIN is a safe "from the beginning" start that returns

@@ -247,6 +247,189 @@ TEST_F(KvStoreTest, SizeIsExactUnderPureOverwriteChurn) {
   EXPECT_EQ(kv.size(), static_cast<std::size_t>(kKeys));
 }
 
+// --- batched multi-op path ---------------------------------------------------
+
+TEST_F(KvStoreTest, MultiGetMatchesScalarLoop) {
+  KvStore kv(4, 64);
+  for (std::int64_t k = 0; k < 100; k += 2) {
+    kv.put(k, churn_value(k, 7));  // even keys present, odd keys absent
+  }
+  // Mixed hits/misses plus duplicate keys in one batch.
+  std::vector<std::int64_t> keys;
+  for (std::int64_t k = 0; k < 100; ++k) keys.push_back(k);
+  keys.push_back(4);   // duplicate hit
+  keys.push_back(5);   // duplicate miss
+  const auto got = kv.multi_get(keys);
+  ASSERT_EQ(got.size(), keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(got[i], kv.get(keys[i])) << "key " << keys[i];
+  }
+}
+
+TEST_F(KvStoreTest, MultiPutMatchesScalarSemantics) {
+  // The batched path must be observationally identical to a scalar loop:
+  // same fresh-insert flags, same final contents.
+  KvStore batched(4, 64);
+  KvStore scalar(4, 64);
+  std::vector<std::pair<std::int64_t, std::string>> store;
+  for (std::int64_t k = 0; k < 64; ++k) {
+    store.emplace_back(k, churn_value(k, 1));
+  }
+  for (std::int64_t k = 0; k < 32; ++k) {
+    batched.put(k, churn_value(k, 0));  // first half becomes overwrites
+    scalar.put(k, churn_value(k, 0));
+  }
+  std::vector<std::pair<std::int64_t, std::string_view>> kvs;
+  for (const auto& [k, v] : store) kvs.emplace_back(k, v);
+
+  const auto fresh = batched.multi_put(kvs);
+  ASSERT_EQ(fresh.size(), kvs.size());
+  for (std::size_t i = 0; i < kvs.size(); ++i) {
+    const bool scalar_fresh = scalar.put(kvs[i].first, kvs[i].second);
+    EXPECT_EQ(static_cast<bool>(fresh[i]), scalar_fresh) << "key "
+                                                         << kvs[i].first;
+  }
+  EXPECT_EQ(batched.size(), scalar.size());
+  for (std::int64_t k = 0; k < 64; ++k) {
+    EXPECT_EQ(batched.get(k), scalar.get(k)) << "key " << k;
+  }
+}
+
+TEST_F(KvStoreTest, MultiRemoveMatchesScalarLoop) {
+  KvStore kv(4, 64);
+  for (std::int64_t k = 0; k < 40; ++k) kv.put(k, "v");
+  // Present, absent, duplicate (second occurrence sees it gone), and a
+  // reserved sentinel (reports false, like remove()).
+  const std::vector<std::int64_t> keys = {
+      3, 100, 7, 3, std::numeric_limits<std::int64_t>::max()};
+  const auto out = kv.multi_remove(keys);
+  ASSERT_EQ(out.size(), keys.size());
+  EXPECT_TRUE(out[0]);
+  EXPECT_FALSE(out[1]);
+  EXPECT_TRUE(out[2]);
+  EXPECT_FALSE(out[3]) << "duplicate remove in one batch: second loses";
+  EXPECT_FALSE(out[4]);
+  EXPECT_EQ(kv.get(3), std::nullopt);
+  EXPECT_EQ(kv.get(7), std::nullopt);
+  EXPECT_EQ(kv.size(), 38u);
+}
+
+TEST_F(KvStoreTest, MultiPutDuplicateKeysApplyInOrderLastWins) {
+  // Documented duplicate semantics: every occurrence is applied in batch
+  // order, so the last value wins and at most the first occurrence can be
+  // a fresh insert.
+  KvStore kv(4, 64);
+  kv.put(5, "pre");
+  const std::vector<std::pair<std::int64_t, std::string_view>> kvs = {
+      {9, "v1"}, {5, "a"}, {9, "v2"}, {9, "v3"}};
+  const auto fresh = kv.multi_put(kvs);
+  EXPECT_TRUE(fresh[0]) << "first occurrence of 9 inserts";
+  EXPECT_FALSE(fresh[1]) << "5 was prefilled";
+  EXPECT_FALSE(fresh[2]) << "second occurrence overwrites";
+  EXPECT_FALSE(fresh[3]);
+  EXPECT_EQ(kv.get(9), "v3");
+  EXPECT_EQ(kv.get(5), "a");
+  EXPECT_EQ(kv.size(), 2u) << "duplicates count once";
+}
+
+TEST_F(KvStoreTest, MultiOpsHandleEmptyAndSingletonBatches) {
+  KvStore kv(2, 64);
+  EXPECT_TRUE(kv.multi_get(std::vector<std::int64_t>{}).empty());
+  EXPECT_TRUE(kv.multi_put({}).empty());
+  EXPECT_TRUE(kv.multi_remove(std::vector<std::int64_t>{}).empty());
+  const std::vector<std::pair<std::int64_t, std::string_view>> one = {
+      {1, "x"}};
+  EXPECT_TRUE(kv.multi_put(one)[0]);
+  const auto got = kv.multi_get(std::vector<std::int64_t>{1});
+  ASSERT_TRUE(got[0].has_value());
+  EXPECT_EQ(*got[0], "x");
+  EXPECT_TRUE(kv.multi_remove(std::vector<std::int64_t>{1})[0]);
+  EXPECT_EQ(kv.size(), 0u);
+}
+
+TEST_F(KvStoreTest, MultiPutReservedKeyThrowsBeforeAnySideEffect) {
+  // Validation is all-or-nothing: a reserved sentinel anywhere in the
+  // batch must reject the whole batch before any element is applied.
+  KvStore kv(2, 64);
+  const std::vector<std::pair<std::int64_t, std::string_view>> kvs = {
+      {1, "a"}, {std::numeric_limits<std::int64_t>::min(), "boom"}, {2, "b"}};
+  EXPECT_THROW((void)kv.multi_put(kvs), std::invalid_argument);
+  EXPECT_EQ(kv.get(1), std::nullopt) << "no element may be applied";
+  EXPECT_EQ(kv.get(2), std::nullopt);
+  EXPECT_EQ(kv.size(), 0u);
+  // Reserved keys in read/remove batches are simply absent, as scalar.
+  constexpr std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+  EXPECT_EQ(kv.multi_get(std::vector<std::int64_t>{kMax})[0], std::nullopt);
+}
+
+TEST_F(KvStoreTest, MultiGetUnderConcurrentUpsertsNeverMissesACommittedKey) {
+  // The batched churn analogue of OverwriteChurnNeverHidesAKey, and the
+  // TSan target for the multi-op path (this suite carries the kv label):
+  // while writers overwrite a fixed committed key set through both the
+  // scalar and the batched put paths, a multi_get batch must never
+  // observe absence or a torn value — the deferred-fence publish is a
+  // plain atomic CAS to readers.
+  KvStore kv(4, 64);
+  constexpr std::int64_t kKeys = 48;
+  for (std::int64_t k = 0; k < kKeys; ++k) kv.put(k, churn_value(k, 0));
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> absences{0};
+  std::atomic<std::uint64_t> torn{0};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 2; ++t) {
+    writers.emplace_back([&kv, &stop, t] {
+      std::mt19937_64 rng(static_cast<std::uint64_t>(t) * 7919 + 3);
+      std::uint64_t salt = 1;
+      std::vector<std::pair<std::int64_t, std::string>> vals;
+      std::vector<std::pair<std::int64_t, std::string_view>> kvs;
+      while (!stop.load(std::memory_order_relaxed)) {
+        if (t == 0) {  // scalar overwrites
+          const auto k = static_cast<std::int64_t>(rng() % kKeys);
+          kv.put(k, churn_value(k, salt++));
+        } else {  // batched overwrites
+          vals.clear();
+          kvs.clear();
+          for (int i = 0; i < 8; ++i) {
+            const auto k = static_cast<std::int64_t>(rng() % kKeys);
+            vals.emplace_back(k, churn_value(k, salt++));
+          }
+          for (const auto& [k, v] : vals) kvs.emplace_back(k, v);
+          kv.multi_put(kvs);
+        }
+      }
+    });
+  }
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 2; ++t) {
+    readers.emplace_back([&kv, &absences, &torn, t] {
+      std::mt19937_64 rng(static_cast<std::uint64_t>(t) * 31 + 7);
+      std::vector<std::int64_t> keys;
+      for (int i = 0; i < 4'000; ++i) {
+        keys.clear();
+        for (int j = 0; j < 12; ++j) {
+          keys.push_back(static_cast<std::int64_t>(rng() % kKeys));
+        }
+        const auto got = kv.multi_get(keys);
+        for (std::size_t j = 0; j < keys.size(); ++j) {
+          if (!got[j]) {
+            absences.fetch_add(1);
+          } else if (!churn_value_ok(keys[j], *got[j])) {
+            torn.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : readers) th.join();
+  stop.store(true);
+  for (auto& th : writers) th.join();
+  EXPECT_EQ(absences.load(), 0u)
+      << "a committed key transiently vanished from a multi_get";
+  EXPECT_EQ(torn.load(), 0u);
+  EXPECT_EQ(kv.size(), static_cast<std::size_t>(kKeys));
+}
+
 TEST_F(KvStoreTest, ConcurrentMixedOpsKeepValuesConsistent) {
   // Writers only ever store the deterministic pattern for a key; any read
   // must observe either absence or that exact pattern (never a torn or
