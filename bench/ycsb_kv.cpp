@@ -48,6 +48,7 @@ struct JsonRow {
   std::string words, layout, mix;
   std::size_t batch;
   double mops, pwbs_per_op, pfences_per_op;
+  double redundant_pwbs_per_op, empty_pfences_per_op;
   std::uint64_t misses, mismatches, lost_updates;
 };
 
@@ -78,14 +79,17 @@ void run_one(const char* name, const char* layout, KV& store,
   const std::string batch_s = Table::fmt_u(cfg.batch);
   csv.row({name, layout, cfg.mix.name, batch_s, Table::fmt(r.mops(), 3),
            Table::fmt(r.pwbs_per_op(), 3), Table::fmt(r.pfences_per_op(), 3),
+           Table::fmt(r.redundant_pwbs_per_op(), 4),
+           Table::fmt(r.empty_pfences_per_op(), 4),
            Table::fmt_u(r.read_misses), Table::fmt_u(r.value_mismatches),
            Table::fmt_u(r.lost_updates)});
   table.add_row({name, layout, cfg.mix.name, batch_s,
                  Table::fmt(r.mops(), 3), Table::fmt(r.pwbs_per_op(), 3),
                  Table::fmt(r.pfences_per_op(), 3)});
   tot.rows.push_back({name, layout, cfg.mix.name, cfg.batch, r.mops(),
-                      r.pwbs_per_op(), r.pfences_per_op(), r.read_misses,
-                      r.value_mismatches, r.lost_updates});
+                      r.pwbs_per_op(), r.pfences_per_op(),
+                      r.redundant_pwbs_per_op(), r.empty_pfences_per_op(),
+                      r.read_misses, r.value_mismatches, r.lost_updates});
 }
 
 template <class Words>
@@ -180,10 +184,12 @@ void write_json(const char* path, const Totals& tot, std::uint64_t records,
         f,
         "    {\"words\": \"%s\", \"layout\": \"%s\", \"mix\": \"%s\", "
         "\"batch\": %zu, \"mops\": %.4f, \"pwbs_per_op\": %.4f, "
-        "\"pfences_per_op\": %.4f, \"misses\": %llu, \"mismatches\": %llu, "
-        "\"lost_updates\": %llu}%s\n",
+        "\"pfences_per_op\": %.4f, \"redundant_pwbs_per_op\": %.4f, "
+        "\"empty_pfences_per_op\": %.4f, \"misses\": %llu, "
+        "\"mismatches\": %llu, \"lost_updates\": %llu}%s\n",
         r.words.c_str(), r.layout.c_str(), r.mix.c_str(), r.batch, r.mops,
-        r.pwbs_per_op, r.pfences_per_op,
+        r.pwbs_per_op, r.pfences_per_op, r.redundant_pwbs_per_op,
+        r.empty_pfences_per_op,
         static_cast<unsigned long long>(r.misses),
         static_cast<unsigned long long>(r.mismatches),
         static_cast<unsigned long long>(r.lost_updates),
@@ -210,9 +216,12 @@ int main(int argc, char** argv) {
 
   Table table(
       {"words", "layout", "mix", "batch", "Mops", "pwbs/op", "pfences/op"});
+  // redundant_pwbs/op needs a FLIT_PERSIST_CHECK build to be nonzero (the
+  // lint lives in the shadow line state); empty_pfences/op is always on.
   CsvWriter csv("ycsb_kv",
                 {"words", "layout", "mix", "batch", "Mops", "pwbs/op",
-                 "pfences/op", "misses", "mismatches", "lost_updates"});
+                 "pfences/op", "redundant_pwbs/op", "empty_pfences/op",
+                 "misses", "mismatches", "lost_updates"});
   Totals tot;
 
   YcsbConfig base;

@@ -47,9 +47,14 @@ def main():
     only_base = sorted(set(base) - set(cand))
     only_cand = sorted(set(cand) - set(base))
 
+    # The redundancy-lint columns (.get with 0.0: snapshots predating the
+    # PersistCheck lint lack them). redundant_pwbs_per_op is only nonzero
+    # when the bench ran under FLIT_PERSIST_CHECK; empty_pfences_per_op is
+    # counted in every build.
     hdr = (f"{'words':<15} {'layout':<8} {'mix':<4} {'batch':>5} "
            f"{'Mops':>8} {'Δ%':>8} {'pwbs/op':>9} {'Δ%':>8} "
-           f"{'pfences/op':>11} {'Δ%':>8}")
+           f"{'pfences/op':>11} {'Δ%':>8} {'rpwb/op':>8} {'Δ%':>8} "
+           f"{'epf/op':>7} {'Δ%':>8}")
     print(hdr)
     print("-" * len(hdr))
     for k in shared:
@@ -59,10 +64,15 @@ def main():
             continue
         dw = pct(c["pwbs_per_op"], b["pwbs_per_op"])
         df = pct(c.get("pfences_per_op", 0.0), b.get("pfences_per_op", 0.0))
+        crp = c.get("redundant_pwbs_per_op", 0.0)
+        cep = c.get("empty_pfences_per_op", 0.0)
+        drp = pct(crp, b.get("redundant_pwbs_per_op", 0.0))
+        dep = pct(cep, b.get("empty_pfences_per_op", 0.0))
         print(f"{k[0]:<15} {k[1]:<8} {k[2]:<4} {k[3]:>5} "
               f"{c['mops']:>8.3f} {dm:>+7.1f}% {c['pwbs_per_op']:>9.3f} "
               f"{dw:>+7.1f}% {c.get('pfences_per_op', 0.0):>11.3f} "
-              f"{df:>+7.1f}%")
+              f"{df:>+7.1f}% {crp:>8.4f} {drp:>+7.1f}% "
+              f"{cep:>7.4f} {dep:>+7.1f}%")
 
     for label, keys in (("only in baseline", only_base),
                         ("only in candidate", only_cand)):

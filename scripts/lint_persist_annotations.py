@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Durable-word hygiene lint for the flit data-structure and KV layers.
+
+Pool-resident shared words in ``src/ds/`` and ``src/kv/`` must be declared
+as ``persist<T, ...>`` or ``lap_word`` so every store/CAS goes through the
+FliT protocol (tag, pwb, pfence, untag). A raw ``std::atomic`` member in
+those layers bypasses the protocol entirely: its stores are never tracked
+by the per-word counters, never flushed by readers, and invisible to
+PersistCheck — the exact class of bug the checker cannot see because the
+annotation was never there.
+
+This lint flags every ``std::atomic`` / ``std::atomic_ref`` declaration in
+the two layers. Words that are volatile *by design* (rebuilt on recovery,
+never flushed) are exempted with an inline marker:
+
+    // persist-lint: allow(<reason>)
+
+A marker covers its own line and every following line up to the next blank
+line, so one marker above a small group of declarations covers the group.
+
+Usage: lint_persist_annotations.py [repo-root]
+Exit status: 0 if clean, 1 if any unexempted raw atomic is found.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+ATOMIC = re.compile(r"std::atomic(?:_ref)?\s*<")
+MARKER = re.compile(r"persist-lint:\s*allow\(([^)]*)\)")
+
+#: Layers whose shared words must use persist<>/lap_word. src/core (the
+#: annotation machinery itself), src/pmem (the simulator/checker), and
+#: src/bench_util (volatile harness state) legitimately hold raw atomics.
+LINT_DIRS = ("src/ds", "src/kv")
+
+SUFFIXES = (".hpp", ".cpp")
+
+
+def lint_file(path: pathlib.Path) -> list[tuple[int, str]]:
+    violations: list[tuple[int, str]] = []
+    allowed = False  # inside a marker's paragraph scope
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        if not line.strip():
+            allowed = False
+            continue
+        if MARKER.search(line):
+            allowed = True
+        # Only code counts: a comment *mentioning* std::atomic is fine.
+        code = line.split("//", 1)[0]
+        if ATOMIC.search(code) and not allowed:
+            violations.append((lineno, line.strip()))
+    return violations
+
+
+def main(argv: list[str]) -> int:
+    root = pathlib.Path(argv[1]) if len(argv) > 1 else (
+        pathlib.Path(__file__).resolve().parent.parent)
+    failures = 0
+    checked = 0
+    for rel in LINT_DIRS:
+        base = root / rel
+        for path in sorted(base.rglob("*")):
+            if path.suffix not in SUFFIXES:
+                continue
+            checked += 1
+            for lineno, text in lint_file(path):
+                failures += 1
+                print(f"{path.relative_to(root)}:{lineno}: raw atomic "
+                      f"bypasses persist<>/lap_word: {text}")
+    if failures:
+        print(f"\n{failures} unexempted raw atomic(s). Pool-resident words "
+              "in src/ds and src/kv must use persist<> or lap_word; words "
+              "that are volatile by design need an inline\n"
+              "    // persist-lint: allow(<reason>)\n"
+              "marker on (or in the paragraph above) the declaration.")
+        return 1
+    print(f"persist-annotation lint: {checked} files clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

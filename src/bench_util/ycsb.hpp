@@ -246,6 +246,18 @@ struct YcsbResult {
                                static_cast<double>(total_ops)
                          : 0;
   }
+  /// Redundancy lint, per op. empty_pfences is counted in every build;
+  /// redundant_pwbs stays 0 unless FLIT_PERSIST_CHECK tracks line state.
+  double redundant_pwbs_per_op() const noexcept {
+    return total_ops > 0 ? static_cast<double>(persistence.redundant_pwbs) /
+                               static_cast<double>(total_ops)
+                         : 0;
+  }
+  double empty_pfences_per_op() const noexcept {
+    return total_ops > 0 ? static_cast<double>(persistence.empty_pfences) /
+                               static_cast<double>(total_ops)
+                         : 0;
+  }
 };
 
 /// Load phase: put keys [0, record_count) with deterministic payloads.

@@ -21,6 +21,7 @@
 
 #include "core/pv.hpp"
 #include "pmem/backend.hpp"
+#include "pmem/persist_check.hpp"
 
 namespace flit {
 
@@ -64,9 +65,11 @@ class lap_word {
         // fail (or spuriously succeed) on flag state.
         pmem::pwb(&val_);
         pmem::pfence();
-        val_.compare_exchange_strong(w, w & ~kDirty,
-                                     std::memory_order_acq_rel,
-                                     std::memory_order_acquire);
+        if (val_.compare_exchange_strong(w, w & ~kDirty,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_acquire)) {
+          pmem::pc_store(&val_, sizeof(val_));
+        }
         w &= ~kDirty;
       }
       if (w != exp) {
@@ -77,14 +80,17 @@ class lap_word {
       const std::uintptr_t des = pflag ? (des_clean | kDirty) : des_clean;
       if (val_.compare_exchange_strong(e, des, std::memory_order_seq_cst,
                                        std::memory_order_acquire)) {
+        pmem::pc_store(&val_, sizeof(val_));
         if (pflag) {
           pmem::pwb(&val_);
           pmem::pfence();
           std::uintptr_t d = des;
           // Clear our flag unless a newer store already replaced the word.
-          val_.compare_exchange_strong(d, des_clean,
-                                       std::memory_order_acq_rel,
-                                       std::memory_order_relaxed);
+          if (val_.compare_exchange_strong(d, des_clean,
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_relaxed)) {
+            pmem::pc_store(&val_, sizeof(val_));
+          }
         }
         return true;
       }
@@ -122,9 +128,11 @@ class lap_word {
         // fully fenced cas() does.
         pmem::pwb(&val_);
         pmem::pfence();
-        val_.compare_exchange_strong(w, w & ~kDirty,
-                                     std::memory_order_acq_rel,
-                                     std::memory_order_acquire);
+        if (val_.compare_exchange_strong(w, w & ~kDirty,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_acquire)) {
+          pmem::pc_store(&val_, sizeof(val_));
+        }
         w &= ~kDirty;
       }
       if (w != exp) {
@@ -135,6 +143,7 @@ class lap_word {
       const std::uintptr_t des = pflag ? (des_clean | kDirty) : des_clean;
       if (val_.compare_exchange_strong(e, des, std::memory_order_seq_cst,
                                        std::memory_order_acquire)) {
+        pmem::pc_store(&val_, sizeof(val_));
         if (pflag) pmem::pwb(&val_);
         return true;  // dirty flag stays up until complete_deferred()
       }
@@ -150,9 +159,11 @@ class lap_word {
   /// store already replaced the word (its writer owns the flag now).
   void complete_deferred(T desired) noexcept {
     std::uintptr_t d = bits(desired) | kDirty;
-    val_.compare_exchange_strong(d, bits(desired),
-                                 std::memory_order_acq_rel,
-                                 std::memory_order_relaxed);
+    if (val_.compare_exchange_strong(d, bits(desired),
+                                     std::memory_order_acq_rel,
+                                     std::memory_order_relaxed)) {
+      pmem::pc_store(&val_, sizeof(val_));
+    }
   }
 
   // --- private accesses (unpublished nodes) -------------------------------
@@ -163,6 +174,7 @@ class lap_word {
 
   void store_private(T v, bool pflag = default_pflag) noexcept {
     val_.store(bits(v), std::memory_order_relaxed);
+    pmem::pc_store(&val_, sizeof(val_));
     if (pflag) {
       pmem::pwb(&val_);
       pmem::pfence();

@@ -34,6 +34,7 @@
 #include "core/counters.hpp"
 #include "core/pv.hpp"
 #include "pmem/backend.hpp"
+#include "pmem/persist_check.hpp"
 
 namespace flit {
 
@@ -101,11 +102,13 @@ class persist {
     if (pflag) {
       tag();
       val_.store(v, std::memory_order_release);
+      pmem::pc_store(&val_, sizeof(val_));
       pmem::pwb(&val_);
       pmem::pfence();
       untag();
     } else {
       val_.store(v, std::memory_order_release);
+      pmem::pc_store(&val_, sizeof(val_));
     }
   }
 
@@ -128,14 +131,17 @@ class persist {
       const bool ok = val_.compare_exchange_strong(
           expected, desired, std::memory_order_seq_cst,
           std::memory_order_acquire);
+      if (ok) pmem::pc_store(&val_, sizeof(val_));
       pmem::pwb(&val_);
       pmem::pfence();
       untag();
       return ok;
     }
-    return val_.compare_exchange_strong(expected, desired,
-                                        std::memory_order_seq_cst,
-                                        std::memory_order_acquire);
+    const bool ok = val_.compare_exchange_strong(expected, desired,
+                                                 std::memory_order_seq_cst,
+                                                 std::memory_order_acquire);
+    if (ok) pmem::pc_store(&val_, sizeof(val_));
+    return ok;
   }
 
   /// Convenience CAS that does not report the witness value.
@@ -181,9 +187,11 @@ class persist {
                                           std::memory_order_acquire);
     }
     if (!pflag) {
-      return val_.compare_exchange_strong(expected, desired,
-                                          std::memory_order_seq_cst,
-                                          std::memory_order_acquire);
+      const bool ok = val_.compare_exchange_strong(expected, desired,
+                                                   std::memory_order_seq_cst,
+                                                   std::memory_order_acquire);
+      if (ok) pmem::pc_store(&val_, sizeof(val_));
+      return ok;
     }
     tag();
     const bool ok = val_.compare_exchange_strong(expected, desired,
@@ -193,6 +201,7 @@ class persist {
       untag();
       return false;
     }
+    pmem::pc_store(&val_, sizeof(val_));
     pmem::pwb(&val_);
     return true;  // still tagged: readers flush until complete_deferred()
   }
@@ -214,12 +223,15 @@ class persist {
     if (pflag) {
       tag();
       T old = val_.exchange(v, std::memory_order_acq_rel);
+      pmem::pc_store(&val_, sizeof(val_));
       pmem::pwb(&val_);
       pmem::pfence();
       untag();
       return old;
     }
-    return val_.exchange(v, std::memory_order_acq_rel);
+    T old = val_.exchange(v, std::memory_order_acq_rel);
+    pmem::pc_store(&val_, sizeof(val_));
+    return old;
   }
 
   /// Shared fetch-and-add (integral T only) — the instruction that the
@@ -234,12 +246,15 @@ class persist {
     if (pflag) {
       tag();
       T old = val_.fetch_add(amount, std::memory_order_acq_rel);
+      pmem::pc_store(&val_, sizeof(val_));
       pmem::pwb(&val_);
       pmem::pfence();
       untag();
       return old;
     }
-    return val_.fetch_add(amount, std::memory_order_acq_rel);
+    T old = val_.fetch_add(amount, std::memory_order_acq_rel);
+    pmem::pc_store(&val_, sizeof(val_));
+    return old;
   }
 
   // --- private flit-instructions (paper §5) ------------------------------
@@ -253,6 +268,7 @@ class persist {
   void store_private(T v, bool pflag = default_pflag) noexcept {
     val_.store(v, std::memory_order_relaxed);
     if constexpr (kind != CounterKind::kVolatile) {
+      pmem::pc_store(&val_, sizeof(val_));
       if (pflag) {
         pmem::pwb(&val_);
         pmem::pfence();

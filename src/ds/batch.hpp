@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "ds/tagged_ptr.hpp"
+#include "pmem/persist_check.hpp"
 
 namespace flit::ds {
 
@@ -43,8 +44,11 @@ class PublishBatch {
     static_assert(std::is_pointer_v<V>,
                   "deferred publication batches carry pointer values");
     if constexpr (W::needs_completion) {
+      pmem::pc_deferred_publish(word.raw_address(),
+                                "ds::PublishBatch::enlist");
       pending_.push_back(
-          {&word, reinterpret_cast<std::uintptr_t>(desired),
+          {&word, word.raw_address(),
+           reinterpret_cast<std::uintptr_t>(desired),
            [](void* w, std::uintptr_t d) {
              static_cast<W*>(w)->complete_deferred(reinterpret_cast<V>(d));
            }});
@@ -55,7 +59,10 @@ class PublishBatch {
   /// that covers all of the batch's publish pwbs (Condition 3: a word's
   /// value must be persistent before its tag drops).
   void complete_all() noexcept {
-    for (const Pending& p : pending_) p.complete(p.word, p.desired);
+    for (const Pending& p : pending_) {
+      pmem::pc_complete_deferred(p.addr);
+      p.complete(p.word, p.desired);
+    }
     pending_.clear();
   }
 
@@ -65,6 +72,7 @@ class PublishBatch {
  private:
   struct Pending {
     void* word;
+    const void* addr;  ///< raw word address (PersistCheck identity)
     std::uintptr_t desired;
     void (*complete)(void*, std::uintptr_t);
   };

@@ -241,6 +241,7 @@ class DurableQueue {
   }
 
   // Volatile, never flushed (paper §4): lives outside persist<>.
+  // persist-lint: allow(volatile roots; rebuilt from the anchor on recovery)
   std::atomic<Node*> head_{nullptr};
   std::atomic<Node*> tail_{nullptr};
   Anchor* anchor_ = nullptr;

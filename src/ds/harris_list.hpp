@@ -35,6 +35,7 @@
 #include "core/modes.hpp"
 #include "ds/batch.hpp"
 #include "ds/tagged_ptr.hpp"
+#include "pmem/persist_check.hpp"
 #include "pmem/pool.hpp"
 #include "recl/ebr.hpp"
 
@@ -308,6 +309,9 @@ class HarrisList {
                 PublishBatch* batch = nullptr) {
     Node* node = pmem::pnew<Node>(k, v, curr);
     if (Method::persist_node_init) Words::persist_obj(node);
+    if constexpr (Words::persistent) {
+      pmem::pc_publish(node, sizeof(Node), "ds::HarrisList::try_link");
+    }
     Node* expected = curr;
     if (batch != nullptr) {
       if (pred->next.cas_deferred(expected, node, Method::critical_store)) {

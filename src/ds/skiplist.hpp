@@ -26,6 +26,7 @@
 #include "core/modes.hpp"
 #include "ds/batch.hpp"
 #include "ds/tagged_ptr.hpp"
+#include "pmem/persist_check.hpp"
 #include "pmem/pool.hpp"
 #include "recl/ebr.hpp"
 
@@ -393,6 +394,10 @@ class SkipList {
       node->next[i].store_private(succs[i], kVolatile);
     }
     if (Method::persist_node_init) persist_node(node);
+    if constexpr (Words::persistent) {
+      pmem::pc_publish(node, Node::bytes_for(height),
+                       "ds::SkipList::try_link");
+    }
 
     Node* expected = succs[0];
     bool linked;

@@ -43,6 +43,7 @@
 
 #include "ds/batch.hpp"
 #include "ds/tagged_ptr.hpp"
+#include "pmem/persist_check.hpp"
 #include "pmem/pool.hpp"
 #include "recl/ebr.hpp"
 
@@ -100,7 +101,14 @@ struct Record {
   }
 
   /// Hand an unlinked record to EBR; freed once no reader can reach it.
+  /// `persistent` matches the creating Backend::kPersistent: volatile
+  /// configurations never flush records, so only persistent ones owe
+  /// PersistCheck a fully-Clean range at retirement.
+  template <bool persistent = true>
   static void retire(Record* r) {
+    if constexpr (persistent) {
+      pmem::pc_retire(r, bytes(r->len), "kv::Record::retire");
+    }
     recl::Ebr::instance().retire(r, [](void* p) {
       auto* rec = static_cast<Record*>(p);
       recl::ebr_pmem_free(rec, bytes(rec->len));
@@ -166,6 +174,9 @@ class Shard {
     // a large value's copy + per-line flush would stall reclamation
     // everywhere else.
     Record* rec = Record::create<Backend::kPersistent>(value);
+    if constexpr (Backend::kPersistent) {
+      pmem::pc_publish(rec, Record::bytes(rec->len), "kv::Shard::put");
+    }
     std::optional<Record*> old;
     try {
       old = backend_.upsert(k, rec);
@@ -179,7 +190,7 @@ class Shard {
       // We won the value-word CAS that superseded *old: unique retirement
       // ownership. The counter is untouched — an overwrite changes no
       // key's presence, so size() no longer dips during overwrites.
-      Record::retire(*old);
+      Record::retire<Backend::kPersistent>(*old);
       return false;
     }
     approx_size_.fetch_add(1, std::memory_order_relaxed);
@@ -204,7 +215,7 @@ class Shard {
     if (reserved_key(k)) return false;
     if (std::optional<Record*> old = backend_.remove_get(k)) {
       approx_size_.fetch_sub(1, std::memory_order_relaxed);
-      Record::retire(*old);
+      Record::retire<Backend::kPersistent>(*old);
       return true;
     }
     return false;
@@ -243,6 +254,10 @@ class Shard {
   /// points at clobbered storage. Returns true on a fresh insert.
   bool put_batched(Key k, Record* rec, ds::PublishBatch& batch,
                    std::vector<Record*>& superseded) {
+    if constexpr (Backend::kPersistent) {
+      pmem::pc_publish(rec, Record::bytes(rec->len),
+                       "kv::Shard::put_batched");
+    }
     if (std::optional<Record*> old =
             backend_.upsert_batched(k, rec, batch)) {
       superseded.push_back(*old);
@@ -355,6 +370,7 @@ class Shard {
   /// neighbor's backend state) can share a line — the same false-sharing
   /// collapse the paper demonstrates in §6 for flit counters packed into
   /// one cache line.
+  // persist-lint: allow(volatile statistic; recomputed by recovery scan)
   alignas(64) std::atomic<std::ptrdiff_t> approx_size_{0};
 };
 

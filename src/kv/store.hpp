@@ -751,6 +751,7 @@ class Store {
   static void bump_generation(Superblock* sb) {
     sb->generation += 1;
     if constexpr (Words::persistent) {
+      pmem::pc_store(&sb->generation, sizeof(sb->generation));
       pmem::persist_range(&sb->generation, sizeof(sb->generation));
     }
   }
@@ -809,7 +810,7 @@ class Store {
                                std::vector<Record*>& superseded) {
     if constexpr (Backend_::kPersistent) pmem::pfence();
     batch.complete_all();
-    for (Record* r : superseded) Record::retire(r);
+    for (Record* r : superseded) Record::retire<Backend_::kPersistent>(r);
     superseded.clear();
   }
 

@@ -9,6 +9,7 @@
 #include <mutex>
 
 #include "pmem/cacheline.hpp"
+#include "pmem/persist_check.hpp"
 #include "pmem/sim_memory.hpp"
 
 namespace flit::pmem {
@@ -104,26 +105,29 @@ void* Pool::alloc(std::size_t size) {
     a.epoch = epoch;
   }
 
-  // Large allocations bypass the arena.
+  void* out;
   if (rounded > kNumSizeClasses * kGranularity) {
-    return bump_chunk(round_up_to_line(rounded));
+    // Large allocations bypass the arena.
+    out = bump_chunk(round_up_to_line(rounded));
+  } else if (FreeNode* n = a.free_lists[size_class(rounded)]) {
+    // Fast path 1: per-thread size-class free list.
+    a.free_lists[size_class(rounded)] = n->next;
+    out = n;
+  } else {
+    // Fast path 2: carve from the thread's chunk.
+    if (a.cur + rounded > a.end) {
+      a.cur = bump_chunk(kChunkSize);
+      a.end = a.cur + kChunkSize;
+    }
+    out = a.cur;
+    a.cur += rounded;
   }
-
-  // Fast path 1: per-thread size-class free list.
-  const std::size_t cls = size_class(rounded);
-  if (FreeNode* n = a.free_lists[cls]) {
-    a.free_lists[cls] = n->next;
-    return n;
-  }
-
-  // Fast path 2: carve from the thread's chunk.
-  if (a.cur + rounded > a.end) {
-    a.cur = bump_chunk(kChunkSize);
-    a.end = a.cur + kChunkSize;
-  }
-  std::byte* p = a.cur;
-  a.cur += rounded;
-  return p;
+  // A fresh block starts un-persisted: constructor stores that follow
+  // (placement-new, Record::create) dirty it before it can be published,
+  // and recycled blocks still hold the freed object's stale words. Marking
+  // here covers every allocation site with one hook.
+  pc_store(out, rounded);
+  return out;
 }
 
 void Pool::dealloc(void* p, std::size_t size) noexcept {

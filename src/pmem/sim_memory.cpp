@@ -6,6 +6,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "pmem/persist_check.hpp"
+
 namespace flit::pmem {
 
 SimMemory& SimMemory::instance() {
@@ -41,6 +43,9 @@ void SimMemory::register_region(void* base, std::size_t len) {
   }
   regions_[n] = std::move(r);
   region_count_.store(n + 1, std::memory_order_release);
+#if defined(FLIT_PERSIST_CHECK)
+  PersistCheck::instance().on_register_region(base, len);
+#endif
 }
 
 void SimMemory::clear_regions() {
@@ -50,6 +55,13 @@ void SimMemory::clear_regions() {
   for (std::size_t i = 0; i < n; ++i) regions_[i] = Region{};
   // Invalidate every thread's pending buffer lazily.
   crash_epoch_.fetch_add(1, std::memory_order_acq_rel);
+#if defined(FLIT_PERSIST_CHECK)
+  PersistCheck::instance().on_clear_regions();
+#endif
+}
+
+void SimMemory::on_store(const void* p, std::size_t len) noexcept {
+  pc_store(p, len);
 }
 
 const SimMemory::Region* SimMemory::find_region(
@@ -133,6 +145,9 @@ void SimMemory::on_pwb(const void* addr) {
   snapshot_line(pl.line, pl.data.data());
   lock.clear(std::memory_order_release);
   tp.lines.push_back(pl);
+#if defined(FLIT_PERSIST_CHECK)
+  PersistCheck::instance().on_pwb(addr);
+#endif
 }
 
 void SimMemory::publish_line(const Region& r, const PendingLine& pl) {
@@ -155,12 +170,15 @@ void SimMemory::on_pfence() {
   if (tp.epoch != epoch) {
     tp.lines.clear();
     tp.epoch = epoch;
-    return;
+    return;  // PersistCheck's own epoch guard drops its stale pendings too
   }
   for (const PendingLine& pl : tp.lines) {
     if (const Region* r = find_region(pl.line)) publish_line(*r, pl);
   }
   tp.lines.clear();
+#if defined(FLIT_PERSIST_CHECK)
+  PersistCheck::instance().on_pfence();
+#endif
   if (PfenceHook hook = pfence_hook_.load(std::memory_order_acquire)) {
     hook(pfence_hook_ctx_.load(std::memory_order_acquire));
   }
@@ -189,6 +207,9 @@ void SimMemory::overwrite_volatile(const std::vector<std::byte>& image,
   const std::size_t n = image.size() < r.len ? image.size() : r.len;
   std::memcpy(reinterpret_cast<void*>(r.base), image.data(), n);
   crash_epoch_.fetch_add(1, std::memory_order_acq_rel);  // drop pendings
+#if defined(FLIT_PERSIST_CHECK)
+  PersistCheck::instance().on_mark_all_clean();
+#endif
 }
 
 void SimMemory::set_pfence_hook(PfenceHook hook, void* ctx) noexcept {
@@ -204,6 +225,10 @@ void SimMemory::crash() {
     std::memcpy(reinterpret_cast<void*>(r.base), r.shadow.get(), r.len);
   }
   crash_epoch_.fetch_add(1, std::memory_order_acq_rel);
+#if defined(FLIT_PERSIST_CHECK)
+  // Post-crash the volatile view *is* the persisted image: all Clean.
+  PersistCheck::instance().on_mark_all_clean();
+#endif
 }
 
 void SimMemory::persist_all() {
@@ -214,6 +239,9 @@ void SimMemory::persist_all() {
     std::memcpy(r.shadow.get(), reinterpret_cast<const void*>(r.base), r.len);
   }
   crash_epoch_.fetch_add(1, std::memory_order_acq_rel);
+#if defined(FLIT_PERSIST_CHECK)
+  PersistCheck::instance().on_mark_all_clean();
+#endif
 }
 
 std::vector<std::byte> SimMemory::persisted_line(const void* addr) const {

@@ -57,6 +57,13 @@ class SimMemory {
   /// True if `p` lies inside a tracked region.
   bool contains(const void* p) const noexcept;
 
+  /// Feed a store of [p, p+len) to PersistCheck (no-op unless built with
+  /// FLIT_PERSIST_CHECK and `p` lies in a tracked region). The simulator
+  /// itself needs no store hook — stores hit the volatile region directly —
+  /// but the checker tracks them, and this is its entry point for callers
+  /// that only know the simulator.
+  void on_store(const void* p, std::size_t len) noexcept;
+
   /// Model a pwb on the line containing `addr` (no-op outside regions).
   void on_pwb(const void* addr);
 

@@ -17,16 +17,26 @@ namespace flit::pmem {
 struct StatsSnapshot {
   std::uint64_t pwbs = 0;     ///< pwb (cache-line write-back) instructions.
   std::uint64_t pfences = 0;  ///< pfence (persist fence) instructions.
+  /// pwbs issued on lines with no unpersisted store (PersistCheck builds
+  /// only; stays 0 otherwise).
+  std::uint64_t redundant_pwbs = 0;
+  /// pfences with no pwb by the same thread since its previous pfence —
+  /// pure ordering cost with nothing to publish. Counted in every build.
+  std::uint64_t empty_pfences = 0;
 
   StatsSnapshot& operator+=(const StatsSnapshot& o) noexcept {
     pwbs += o.pwbs;
     pfences += o.pfences;
+    redundant_pwbs += o.redundant_pwbs;
+    empty_pfences += o.empty_pfences;
     return *this;
   }
   friend StatsSnapshot operator-(StatsSnapshot a,
                                  const StatsSnapshot& b) noexcept {
     a.pwbs -= b.pwbs;
     a.pfences -= b.pfences;
+    a.redundant_pwbs -= b.redundant_pwbs;
+    a.empty_pfences -= b.empty_pfences;
     return a;
   }
 };
@@ -41,6 +51,11 @@ namespace detail {
 struct alignas(64) ThreadStats {
   std::uint64_t pwbs = 0;
   std::uint64_t pfences = 0;
+  std::uint64_t redundant_pwbs = 0;
+  std::uint64_t empty_pfences = 0;
+  /// Value of `pwbs` when this thread last fenced; equal at the next
+  /// pfence means that fence had nothing of ours to publish.
+  std::uint64_t pwbs_at_last_fence = 0;
 };
 
 /// Registry of every thread's counter block. Thread-local blocks are
@@ -70,6 +85,8 @@ class StatsRegistry {
     for (const ThreadStats* ts : blocks_) {
       s.pwbs += ts->pwbs;
       s.pfences += ts->pfences;
+      s.redundant_pwbs += ts->redundant_pwbs;
+      s.empty_pfences += ts->empty_pfences;
     }
     return s;
   }
@@ -81,6 +98,9 @@ class StatsRegistry {
     for (ThreadStats* ts : blocks_) {
       ts->pwbs = 0;
       ts->pfences = 0;
+      ts->redundant_pwbs = 0;
+      ts->empty_pfences = 0;
+      ts->pwbs_at_last_fence = 0;
     }
   }
 
@@ -99,7 +119,17 @@ inline ThreadStats& tls_stats() {
 
 /// Record one pwb / one pfence (called by the backend on every instruction).
 inline void count_pwb() noexcept { ++detail::tls_stats().pwbs; }
-inline void count_pfence() noexcept { ++detail::tls_stats().pfences; }
+inline void count_pfence() noexcept {
+  auto& ts = detail::tls_stats();
+  if (ts.pwbs == ts.pwbs_at_last_fence) ++ts.empty_pfences;
+  ++ts.pfences;
+  ts.pwbs_at_last_fence = ts.pwbs;
+}
+
+/// Record a pwb that hit an all-clean line (called by PersistCheck).
+inline void count_redundant_pwb() noexcept {
+  ++detail::tls_stats().redundant_pwbs;
+}
 
 /// Aggregate counts across all threads that ever issued an instruction.
 inline StatsSnapshot stats_snapshot() {
