@@ -1,13 +1,18 @@
 #!/usr/bin/env python3
-"""Compare two BENCH_ycsb_kv.json snapshots row by row.
+"""Compare two benchmark JSON snapshots row by row.
 
 Usage: bench_diff.py BASELINE.json CANDIDATE.json [--min-delta PCT]
 
-Rows are matched on (words, layout, mix, batch). For each matched row the
-throughput and persistence-instruction deltas are printed as a table;
-rows present on only one side are listed separately. Exit status is
-always 0 — this is a reporting tool, not a gate (the fence-coalescing
-gate lives in check_fence_coalescing.py).
+Works on BENCH_ycsb_kv.json and BENCH_flit_loadgen.json alike. Rows are
+matched on (words, layout, mix, batch, conns) — `conns` is the loadgen's
+connection count and defaults to 0 for the in-process benches, so old
+snapshots keep matching. For each matched row the throughput,
+persistence-instruction, and (when present) p50/p99/p999 latency deltas
+are printed as a table; rows present on only one side are listed
+separately. Latency columns are tolerated, not required: snapshots
+predating the histogram simply print 0. Exit status is always 0 — this
+is a reporting tool, not a gate (the fence-coalescing gate lives in
+check_fence_coalescing.py).
 """
 
 import argparse
@@ -17,7 +22,7 @@ import sys
 
 def key(row):
     return (row["words"], row.get("layout", ""), row["mix"],
-            row.get("batch", 1))
+            row.get("batch", 1), row.get("conns", 0))
 
 
 def load(path):
@@ -52,9 +57,12 @@ def main():
     # when the bench ran under FLIT_PERSIST_CHECK; empty_pfences_per_op is
     # counted in every build.
     hdr = (f"{'words':<15} {'layout':<8} {'mix':<4} {'batch':>5} "
+           f"{'conns':>5} "
            f"{'Mops':>8} {'Δ%':>8} {'pwbs/op':>9} {'Δ%':>8} "
            f"{'pfences/op':>11} {'Δ%':>8} {'rpwb/op':>8} {'Δ%':>8} "
-           f"{'epf/op':>7} {'Δ%':>8}")
+           f"{'epf/op':>7} {'Δ%':>8} "
+           f"{'p50us':>8} {'Δ%':>8} {'p99us':>8} {'Δ%':>8} "
+           f"{'p999us':>8} {'Δ%':>8}")
     print(hdr)
     print("-" * len(hdr))
     for k in shared:
@@ -68,18 +76,25 @@ def main():
         cep = c.get("empty_pfences_per_op", 0.0)
         drp = pct(crp, b.get("redundant_pwbs_per_op", 0.0))
         dep = pct(cep, b.get("empty_pfences_per_op", 0.0))
-        print(f"{k[0]:<15} {k[1]:<8} {k[2]:<4} {k[3]:>5} "
+        c50, c99, c999 = (c.get("p50_us", 0.0), c.get("p99_us", 0.0),
+                          c.get("p999_us", 0.0))
+        d50 = pct(c50, b.get("p50_us", 0.0))
+        d99 = pct(c99, b.get("p99_us", 0.0))
+        d999 = pct(c999, b.get("p999_us", 0.0))
+        print(f"{k[0]:<15} {k[1]:<8} {k[2]:<4} {k[3]:>5} {k[4]:>5} "
               f"{c['mops']:>8.3f} {dm:>+7.1f}% {c['pwbs_per_op']:>9.3f} "
               f"{dw:>+7.1f}% {c.get('pfences_per_op', 0.0):>11.3f} "
               f"{df:>+7.1f}% {crp:>8.4f} {drp:>+7.1f}% "
-              f"{cep:>7.4f} {dep:>+7.1f}%")
+              f"{cep:>7.4f} {dep:>+7.1f}% "
+              f"{c50:>8.1f} {d50:>+7.1f}% {c99:>8.1f} {d99:>+7.1f}% "
+              f"{c999:>8.1f} {d999:>+7.1f}%")
 
     for label, keys in (("only in baseline", only_base),
                         ("only in candidate", only_cand)):
         if keys:
             print(f"\n{label}:")
             for k in keys:
-                print(f"  {k[0]} {k[1]} {k[2]} batch={k[3]}")
+                print(f"  {k[0]} {k[1]} {k[2]} batch={k[3]} conns={k[4]}")
 
     print(f"\n{len(shared)} matched rows "
           f"({len(only_base)} baseline-only, {len(only_cand)} candidate-only)")

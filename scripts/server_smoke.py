@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""End-to-end smoke gate for the network front-end (CTest `server_smoke`).
+
+Boots flit-server on an ephemeral loopback port and drives it with
+flit_loadgen, asserting the acceptance criteria of the network subsystem:
+
+  1. Hashed layout, mix A: a scalar baseline (1 conn x pipeline 1) and a
+     pipelined run (2 conns x pipeline 16) both complete with ZERO
+     misses / mismatches / errors, and the pipelined run's pfences/op is
+     measurably below the scalar run's — fence coalescing driven by real
+     pipelined connections, not synthetic batch sweeps.
+  2. Ordered layout, mix E: verified SCAN traffic (ascending keys, intact
+     payloads) over the wire.
+  3. Clean shutdown both times: an inline-protocol SHUTDOWN (exercising
+     the telnet-style framing) for the hashed server, the loadgen's
+     --shutdown for the ordered one; both servers must exit 0.
+
+Usage: server_smoke.py --server PATH --loadgen PATH [--seconds F]
+"""
+
+import argparse
+import json
+import re
+import socket
+import subprocess
+import sys
+import time
+
+LISTEN_RE = re.compile(r"flit-server: listening on ([0-9.]+):(\d+)")
+
+# Pipelined pfences/op must land below this fraction of scalar: with
+# depth-16 bursts collapsing into multi-ops the true ratio is ~1/8 or
+# better, so 0.6 is a loose-but-meaningful gate that tolerates CI noise.
+COALESCE_RATIO = 0.6
+
+
+def start_server(args, extra):
+    cmd = [args.server, "--port=0"] + extra
+    proc = subprocess.Popen(cmd, stdout=subprocess.PIPE,
+                            stderr=subprocess.STDOUT, text=True)
+    deadline = time.time() + 30
+    while time.time() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            break
+        sys.stdout.write(line)
+        m = LISTEN_RE.search(line)
+        if m:
+            return proc, m.group(1), int(m.group(2))
+    proc.kill()
+    raise SystemExit("server_smoke: server never reported its port")
+
+
+def run_loadgen(args, host, port, extra):
+    cmd = [args.loadgen, f"--host={host}", f"--port={port}",
+           f"--seconds={args.seconds}"] + extra
+    print("server_smoke: $", " ".join(cmd), flush=True)
+    res = subprocess.run(cmd, stdout=subprocess.PIPE,
+                         stderr=subprocess.STDOUT, text=True)
+    sys.stdout.write(res.stdout)
+    if res.returncode != 0:
+        raise SystemExit(f"server_smoke: loadgen failed (exit "
+                         f"{res.returncode})")
+    with open("BENCH_flit_loadgen.json") as f:
+        return json.load(f)["rows"]
+
+
+def inline_shutdown(host, port):
+    """SHUTDOWN via the telnet-style inline framing (no RESP arrays):
+    exercises the second parser path end to end."""
+    with socket.create_connection((host, port), timeout=10) as s:
+        s.sendall(b"SHUTDOWN\r\n")
+        reply = s.recv(64)
+    if not reply.startswith(b"+OK"):
+        raise SystemExit(f"server_smoke: inline SHUTDOWN got {reply!r}")
+
+
+def wait_exit(proc, what):
+    try:
+        code = proc.wait(timeout=30)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        raise SystemExit(f"server_smoke: {what} did not exit after SHUTDOWN")
+    for line in proc.stdout:
+        sys.stdout.write(line)
+    if code != 0:
+        raise SystemExit(f"server_smoke: {what} exited {code}")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--server", required=True)
+    ap.add_argument("--loadgen", required=True)
+    ap.add_argument("--seconds", type=float, default=0.3,
+                    help="measurement time per loadgen point")
+    args = ap.parse_args()
+
+    # --- round 1: hashed layout, scalar vs pipelined fence coalescing ----
+    proc, host, port = start_server(args, ["--layout=hashed",
+                                           "--workers=2", "--keys=4000"])
+    scalar = run_loadgen(args, host, port,
+                         ["--mix=A", "--keys=4000", "--conns=1",
+                          "--pipeline=1"])[0]
+    piped = run_loadgen(args, host, port,
+                        ["--mix=A", "--keys=4000", "--conns=2",
+                         "--pipeline=16", "--no-load"])[0]
+    inline_shutdown(host, port)
+    wait_exit(proc, "hashed server")
+
+    for name, row in (("scalar", scalar), ("pipelined", piped)):
+        bad = row["misses"] + row["mismatches"] + row["errors"]
+        if bad:
+            raise SystemExit(f"server_smoke: {name} run had {bad} "
+                             f"verification failures")
+    if scalar["pfences_per_op"] <= 0:
+        raise SystemExit("server_smoke: scalar run recorded no pfences "
+                         "(STATS plumbing broken?)")
+    ratio = piped["pfences_per_op"] / scalar["pfences_per_op"]
+    print(f"server_smoke: pfences/op scalar={scalar['pfences_per_op']:.3f} "
+          f"pipelined={piped['pfences_per_op']:.3f} ratio={ratio:.3f} "
+          f"(gate < {COALESCE_RATIO})")
+    if ratio >= COALESCE_RATIO:
+        raise SystemExit("server_smoke: pipelining did not coalesce fences")
+
+    # --- round 2: ordered layout, verified SCAN + loadgen shutdown -------
+    proc, host, port = start_server(args, ["--layout=ordered",
+                                           "--workers=2", "--keys=4000"])
+    scans = run_loadgen(args, host, port,
+                        ["--mix=E", "--keys=4000", "--conns=2",
+                         "--pipeline=4", "--shutdown"])[0]
+    wait_exit(proc, "ordered server")
+    bad = scans["misses"] + scans["mismatches"] + scans["errors"]
+    if bad:
+        raise SystemExit(f"server_smoke: scan run had {bad} verification "
+                         f"failures")
+    if scans["layout"] != "ordered":
+        raise SystemExit("server_smoke: expected the ordered layout")
+
+    print("server_smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

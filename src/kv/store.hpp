@@ -65,14 +65,20 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <limits>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <stdexcept>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -93,6 +99,44 @@ struct KeyRange {
   std::int64_t lo = std::numeric_limits<std::int64_t>::min();
   std::int64_t hi = std::numeric_limits<std::int64_t>::max();
 };
+
+/// When the store msyncs on its own (file-backed stores only — the modes
+/// bound the DRAM+disk exposure window that checkpoint() closes by hand;
+/// pool-backed stores have no backing file and every mode is a no-op).
+/// The loss window is what a machine crash (not a process crash — the
+/// page cache survives those) can take back:
+///
+///   * kNever   — only explicit checkpoint()/close() msync. Loss window:
+///     everything since the last checkpoint. Fastest; the recovery sweep
+///     still repairs the allocator mark, so committed-and-synced data is
+///     never resurrected wrong, but recent writes may vanish wholesale.
+///   * kEverySec — a background flusher checkpoints every interval
+///     (default 1 s, the classic redis/pomaicache "everysec"). Loss
+///     window: at most ~one interval of acknowledged writes.
+///   * kAlways  — callers invoke note_write_commit() after each write
+///     batch (the network server does this once per readiness event, so
+///     one msync covers a whole pipelined burst); acknowledged then means
+///     msync-durable. Loss window: nothing acknowledged.
+enum class DurabilityMode { kNever, kEverySec, kAlways };
+
+inline const char* to_string(DurabilityMode m) noexcept {
+  switch (m) {
+    case DurabilityMode::kAlways:
+      return "always";
+    case DurabilityMode::kEverySec:
+      return "everysec";
+    default:
+      return "never";
+  }
+}
+
+inline std::optional<DurabilityMode> parse_durability_mode(
+    std::string_view s) noexcept {
+  if (s == "never") return DurabilityMode::kNever;
+  if (s == "everysec") return DurabilityMode::kEverySec;
+  if (s == "always") return DurabilityMode::kAlways;
+  return std::nullopt;
+}
 
 template <class Words = HashedWords, class Method = Automatic,
           template <class, class> class BackendT = HashBackend>
@@ -204,7 +248,18 @@ class Store {
         sb_(std::exchange(o.sb_, nullptr)),
         region_(std::move(o.region_)),
         file_backed_(std::exchange(o.file_backed_, false)),
-        range_chunk_(o.range_chunk_) {}
+        range_chunk_(o.range_chunk_),
+        durability_(o.durability_.load(std::memory_order_relaxed)),
+        checkpoints_(o.checkpoints_.load(std::memory_order_relaxed)),
+        durability_ctl_(std::move(o.durability_ctl_)) {
+    if (durability_ctl_) {
+      // The flusher thread targets the store through the control block;
+      // retarget it under the block's mutex so a concurrently running
+      // flush sees either the old (still-valid) or the new handle.
+      std::lock_guard<std::mutex> lk(durability_ctl_->mu);
+      durability_ctl_->store = this;
+    }
+  }
 
   ~Store() {
     // close() can throw (msync failure on the backing file); a destructor
@@ -647,9 +702,55 @@ class Store {
   /// regardless, but periodic checkpoints bound the sweep's work and the
   /// msync exposure window.
   void checkpoint() {
-    if (!file_backed_) return;
-    region_.set_bump(pmem::Pool::instance().bump_used());
-    region_.sync();
+    if (durability_ctl_) {
+      std::lock_guard<std::mutex> lk(durability_ctl_->mu);
+      checkpoint_impl();
+    } else {
+      checkpoint_impl();
+    }
+  }
+
+  // --- durability modes ------------------------------------------------------
+
+  /// Select how aggressively the store msyncs on its own (see
+  /// DurabilityMode for the loss windows). `every` is the kEverySec
+  /// flusher interval (exposed for tests; production uses the default).
+  /// Stops any previous flusher first; safe to call repeatedly. On a
+  /// pool-backed store the mode is recorded but every flush is a no-op.
+  void set_durability_mode(
+      DurabilityMode m,
+      std::chrono::milliseconds every = std::chrono::milliseconds(1000)) {
+    stop_flusher();
+    durability_.store(m, std::memory_order_relaxed);
+    if (m == DurabilityMode::kNever) return;
+    // kAlways needs the control block too: note_write_commit() arrives
+    // from many server workers at once and the block's mutex serializes
+    // the header write + msync.
+    durability_ctl_ = std::make_unique<DurabilityCtl>();
+    durability_ctl_->store = this;
+    durability_ctl_->every = every;
+    if (m == DurabilityMode::kEverySec && file_backed_) {
+      durability_ctl_->th =
+          std::thread(&Store::flusher_main, durability_ctl_.get());
+    }
+  }
+
+  DurabilityMode durability_mode() const noexcept {
+    return durability_.load(std::memory_order_relaxed);
+  }
+
+  /// Checkpoints executed so far (explicit, flusher, or kAlways hook) —
+  /// telemetry for tests and the server's STATS.
+  std::uint64_t checkpoints() const noexcept {
+    return checkpoints_.load(std::memory_order_relaxed);
+  }
+
+  /// kAlways hook: callers (the network server, once per readiness
+  /// event's writes) invoke this after a write batch commits; under
+  /// kAlways it checkpoints before the caller acknowledges, making
+  /// "acknowledged" mean "msync-durable". Other modes: no-op.
+  void note_write_commit() {
+    if (durability_mode() == DurabilityMode::kAlways) checkpoint();
   }
 
   /// Quiesce and detach. File-backed: drain reclamation, persist the
@@ -657,6 +758,7 @@ class Store {
   /// above). Pool-backed: just release the volatile handles. Stop-the-
   /// world; the store is unusable afterwards. Idempotent.
   void close() {
+    stop_flusher();
     if (sb_ == nullptr) return;
     for (Shard_& s : shards_) s.release();
     shards_.clear();
@@ -683,6 +785,53 @@ class Store {
  private:
   struct RecoverTag {};
   explicit Store(RecoverTag) noexcept {}
+
+  /// Heap-allocated so the kEverySec flusher thread can hold a stable
+  /// pointer while the Store handle itself moves (open() returns by
+  /// value); the move ctor retargets `store` under `mu`.
+  struct DurabilityCtl {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool stop = false;
+    Store* store = nullptr;
+    std::chrono::milliseconds every{1000};
+    std::thread th;  ///< joinable only in kEverySec mode
+  };
+
+  static void flusher_main(DurabilityCtl* c) {
+    std::unique_lock<std::mutex> lk(c->mu);
+    while (!c->stop) {
+      if (c->cv.wait_for(lk, c->every, [c] { return c->stop; })) break;
+      // Still holding mu: the store pointer is stable and no concurrent
+      // checkpoint() can interleave its header write with ours. An msync
+      // failure must not terminate the process from a background thread;
+      // the next explicit checkpoint()/close() surfaces it.
+      try {
+        if (c->store != nullptr) c->store->checkpoint_impl();
+      } catch (...) {
+      }
+    }
+  }
+
+  /// The actual checkpoint body; callers hold durability_ctl_->mu when
+  /// the control block exists.
+  void checkpoint_impl() {
+    if (!file_backed_) return;
+    region_.set_bump(pmem::Pool::instance().bump_used());
+    region_.sync();
+    checkpoints_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void stop_flusher() noexcept {
+    if (!durability_ctl_) return;
+    {
+      std::lock_guard<std::mutex> lk(durability_ctl_->mu);
+      durability_ctl_->stop = true;
+    }
+    durability_ctl_->cv.notify_all();
+    if (durability_ctl_->th.joinable()) durability_ctl_->th.join();
+    durability_ctl_.reset();
+  }
 
   void attach(pmem::FileRegion&& region) {
     region_ = std::move(region);
@@ -819,6 +968,12 @@ class Store {
   pmem::FileRegion region_;
   bool file_backed_ = false;
   std::uint64_t range_chunk_ = 1;  ///< ordered routing chunk width
+  // persist-lint: allow(volatile control state in the Store handle)
+  // The durability mode and checkpoint counter are not pool-resident:
+  // recovery re-selects the mode and restarts the counter from zero.
+  std::atomic<DurabilityMode> durability_{DurabilityMode::kNever};
+  std::atomic<std::uint64_t> checkpoints_{0};
+  std::unique_ptr<DurabilityCtl> durability_ctl_;
 };
 
 /// Range-partitioned ordered store over skiplist shards: everything Store

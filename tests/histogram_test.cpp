@@ -1,0 +1,119 @@
+// Unit tests for the log2-linear latency histogram (bench_util/
+// histogram.hpp): slot mapping round-trips, bounded relative error at
+// every scale, percentile correctness against exact order statistics,
+// and merge.
+#include "bench_util/histogram.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace flit::bench {
+namespace {
+
+TEST(Histogram, SmallValuesAreExact) {
+  // Below 2*kSub every value has its own slot.
+  for (std::uint64_t v = 0; v < 2 * LatencyHistogram::kSub; ++v) {
+    EXPECT_EQ(LatencyHistogram::slot(v), v);
+    EXPECT_EQ(LatencyHistogram::slot_lo(v), v);
+    EXPECT_EQ(LatencyHistogram::slot_hi(v), v);
+  }
+}
+
+TEST(Histogram, SlotBoundsRoundTrip) {
+  // Every probed value must land in a slot whose [lo, hi] contains it.
+  std::vector<std::uint64_t> probes;
+  for (unsigned shift = 0; shift < 63; ++shift) {
+    const std::uint64_t base = 1ull << shift;
+    probes.push_back(base);
+    probes.push_back(base + 1);
+    probes.push_back(base + base / 2);
+    probes.push_back(2 * base - 1);
+  }
+  probes.push_back(~0ull);
+  for (const std::uint64_t v : probes) {
+    const std::size_t s = LatencyHistogram::slot(v);
+    ASSERT_LT(s, LatencyHistogram::kSlots) << v;
+    EXPECT_LE(LatencyHistogram::slot_lo(s), v) << v;
+    EXPECT_GE(LatencyHistogram::slot_hi(s), v) << v;
+  }
+}
+
+TEST(Histogram, SlotsArePartition) {
+  // Consecutive slots tile the value space with no gaps or overlaps.
+  for (std::size_t s = 0; s + 1 < LatencyHistogram::kSlots; ++s) {
+    if (LatencyHistogram::slot_hi(s) == ~0ull) break;  // top of the range
+    EXPECT_EQ(LatencyHistogram::slot_hi(s) + 1,
+              LatencyHistogram::slot_lo(s + 1))
+        << s;
+  }
+}
+
+TEST(Histogram, RelativeErrorBounded) {
+  // Bucket width / value <= 1/kSub above the exact range: the promised
+  // ~6% quantization bound.
+  for (unsigned shift = 5; shift < 62; ++shift) {
+    const std::uint64_t v = (1ull << shift) + (1ull << (shift - 1));
+    const std::size_t s = LatencyHistogram::slot(v);
+    const double width = static_cast<double>(LatencyHistogram::slot_hi(s) -
+                                             LatencyHistogram::slot_lo(s));
+    EXPECT_LE(width / static_cast<double>(v),
+              1.0 / static_cast<double>(LatencyHistogram::kSub))
+        << v;
+  }
+}
+
+TEST(Histogram, PercentilesTrackExactOrderStatistics) {
+  LatencyHistogram h;
+  std::mt19937_64 rng(42);
+  std::vector<std::uint64_t> samples;
+  // Log-uniform latencies, ~ns to ~100ms scale.
+  for (int i = 0; i < 100'000; ++i) {
+    const double e = std::uniform_real_distribution<double>(1.0, 8.0)(rng);
+    const auto v = static_cast<std::uint64_t>(std::pow(10.0, e));
+    samples.push_back(v);
+    h.record(v);
+  }
+  std::sort(samples.begin(), samples.end());
+  EXPECT_EQ(h.count(), samples.size());
+  EXPECT_EQ(h.max(), samples.back());
+  for (const double q : {0.5, 0.9, 0.99, 0.999}) {
+    const std::uint64_t exact =
+        samples[static_cast<std::size_t>(q * (samples.size() - 1))];
+    const auto approx = static_cast<double>(h.percentile(q));
+    EXPECT_NEAR(approx, static_cast<double>(exact),
+                static_cast<double>(exact) * 0.10)
+        << "q=" << q;
+  }
+}
+
+TEST(Histogram, PercentileEdgeCases) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.percentile(0.5), 0u);  // empty
+  h.record(7);
+  EXPECT_EQ(h.percentile(0.0), 7u);
+  EXPECT_EQ(h.percentile(0.5), 7u);
+  EXPECT_EQ(h.percentile(1.0), 7u);
+  // The reported quantile never exceeds the max actually seen, even when
+  // the bucket midpoint would.
+  LatencyHistogram g;
+  g.record(1'000'000);
+  EXPECT_LE(g.percentile(1.0), 1'000'000u);
+}
+
+TEST(Histogram, MergeAddsBucketwise) {
+  LatencyHistogram a, b;
+  for (std::uint64_t v = 1; v <= 1000; ++v) a.record(v);
+  for (std::uint64_t v = 1001; v <= 2000; ++v) b.record(v);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2000u);
+  EXPECT_EQ(a.max(), 2000u);
+  const std::uint64_t p50 = a.percentile(0.5);
+  EXPECT_NEAR(static_cast<double>(p50), 1000.0, 1000.0 / 16.0);
+}
+
+}  // namespace
+}  // namespace flit::bench
