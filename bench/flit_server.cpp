@@ -22,6 +22,9 @@
 //   --file=PATH             file-backed store (durable across restarts)
 //   --durability=MODE       never | everysec | always (default never;
 //                           only meaningful with --file)
+//   --flush-ms=N            everysec flusher interval in milliseconds
+//                           (default 1000; smoke tests shrink it so a
+//                           checkpoint lands within the test window)
 //   --capacity-mb=N         pool/file capacity (default 1024)
 //   --hw                    real clwb/sfence backend instead of the
 //                           simulated-latency one
@@ -29,6 +32,7 @@
 // SIGINT/SIGTERM (or a SHUTDOWN command) stop the server cleanly:
 // in-flight replies flush, a file-backed store close()s (final msync +
 // clean-shutdown mark).
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -55,6 +59,7 @@ struct Options {
   std::uint64_t keys = 1'000'000;
   std::string file;
   kv::DurabilityMode durability = kv::DurabilityMode::kNever;
+  long flush_ms = 1000;
   std::size_t capacity_mb = 1024;
   bool hw = false;
 };
@@ -96,6 +101,8 @@ Options parse(int argc, char** argv) {
       const auto m = kv::parse_durability_mode(v);
       if (!m) usage_error("--durability must be never, everysec or always");
       o.durability = *m;
+    } else if (const char* v = arg_value(a, "--flush-ms")) {
+      o.flush_ms = std::atol(v);
     } else if (const char* v = arg_value(a, "--capacity-mb")) {
       o.capacity_mb = std::strtoull(v, nullptr, 10);
     } else if (std::strcmp(a, "--hw") == 0) {
@@ -111,6 +118,7 @@ Options parse(int argc, char** argv) {
   if (o.durability != kv::DurabilityMode::kNever && o.file.empty()) {
     usage_error("--durability needs a file-backed store (--file=PATH)");
   }
+  if (o.flush_ms <= 0) usage_error("--flush-ms must be positive");
   return o;
 }
 
@@ -139,7 +147,8 @@ StoreT make_store(const Options& o) {
 template <class StoreT>
 int serve(const Options& o) {
   StoreT store = make_store<StoreT>(o);
-  store.set_durability_mode(o.durability);
+  store.set_durability_mode(o.durability,
+                            std::chrono::milliseconds(o.flush_ms));
 
   net::ServerConfig cfg;
   cfg.host = o.host;

@@ -13,6 +13,12 @@ separately. Latency columns are tolerated, not required: snapshots
 predating the histogram simply print 0. Exit status is always 0 — this
 is a reporting tool, not a gate (the fence-coalescing gate lives in
 check_fence_coalescing.py).
+
+Rows that cannot be compared are never dropped silently: a key present
+in only one snapshot, or appearing twice within one snapshot (later
+occurrence wins), produces a WARNING on stderr. `--self-test` exercises
+both warnings against synthesized snapshots and is wired up as the
+`bench_diff_selftest` CTest entry.
 """
 
 import argparse
@@ -25,10 +31,20 @@ def key(row):
             row.get("batch", 1), row.get("conns", 0))
 
 
+def warn(msg):
+    print(f"WARNING: bench_diff: {msg}", file=sys.stderr, flush=True)
+
+
 def load(path):
     with open(path) as f:
         data = json.load(f)
-    return {key(r): r for r in data.get("rows", [])}
+    rows = {}
+    for r in data.get("rows", []):
+        k = key(r)
+        if k in rows:
+            warn(f"{path}: duplicate row for {k}; keeping the later one")
+        rows[k] = r
+    return rows
 
 
 def pct(new, old):
@@ -95,11 +111,67 @@ def main():
             print(f"\n{label}:")
             for k in keys:
                 print(f"  {k[0]} {k[1]} {k[2]} batch={k[3]} conns={k[4]}")
+    if only_base:
+        # A key that disappears between snapshots is the classic silent
+        # regression hider (a bench cell stopped running): make it loud.
+        warn(f"{len(only_base)} baseline row(s) have no candidate "
+             f"counterpart and were NOT compared")
+    if only_cand:
+        warn(f"{len(only_cand)} candidate row(s) are new and have no "
+             f"baseline to compare against")
 
     print(f"\n{len(shared)} matched rows "
           f"({len(only_base)} baseline-only, {len(only_cand)} candidate-only)")
     return 0
 
 
+def self_test():
+    """Assert the dropped-row warnings actually fire."""
+    import os
+    import subprocess
+    import tempfile
+
+    def row(mix, mops, conns=0):
+        return {"words": "flit-ht", "layout": "hashed", "mix": mix,
+                "batch": 1, "conns": conns, "mops": mops,
+                "pwbs_per_op": 2.0, "pfences_per_op": 1.0}
+
+    with tempfile.TemporaryDirectory(prefix="bench_diff_selftest_") as tmp:
+        base_path = os.path.join(tmp, "base.json")
+        cand_path = os.path.join(tmp, "cand.json")
+        # Baseline: mixes A and B, plus a duplicate of A (later wins).
+        with open(base_path, "w") as f:
+            json.dump({"rows": [row("A", 1.0), row("A", 1.5),
+                                row("B", 2.0)]}, f)
+        # Candidate: B disappeared, C is new.
+        with open(cand_path, "w") as f:
+            json.dump({"rows": [row("A", 1.6), row("C", 3.0)]}, f)
+
+        proc = subprocess.run(
+            [sys.executable, os.path.abspath(__file__), base_path,
+             cand_path],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
+
+    failures = []
+    if proc.returncode != 0:
+        failures.append(f"exit status {proc.returncode}, expected 0")
+    if "duplicate row" not in proc.stderr:
+        failures.append("no duplicate-row warning on stderr")
+    if "NOT compared" not in proc.stderr:
+        failures.append("no dropped-baseline-row warning on stderr")
+    if "1 matched rows" not in proc.stdout:
+        failures.append("expected exactly 1 matched row")
+    if failures:
+        for f in failures:
+            print(f"bench_diff --self-test: FAIL: {f}", file=sys.stderr)
+        print(f"--- stdout ---\n{proc.stdout}\n--- stderr ---\n"
+              f"{proc.stderr}", file=sys.stderr)
+        return 1
+    print("bench_diff --self-test: ok")
+    return 0
+
+
 if __name__ == "__main__":
+    if "--self-test" in sys.argv[1:]:
+        sys.exit(self_test())
     sys.exit(main())

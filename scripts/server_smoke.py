@@ -14,16 +14,24 @@ flit_loadgen, asserting the acceptance criteria of the network subsystem:
   3. Clean shutdown both times: an inline-protocol SHUTDOWN (exercising
      the telnet-style framing) for the hashed server, the loadgen's
      --shutdown for the ordered one; both servers must exit 0.
+  4. Durability plumbing on a file-backed store: --durability=always must
+     checkpoint with every write batch (STATS checkpoints delta grows
+     with traffic) and --durability=everysec --flush-ms=50 must
+     checkpoint on its timer even while idle — both asserted via STATS
+     deltas, so a silently-dead flusher or a disconnected
+     note_write_commit() fails the gate.
 
 Usage: server_smoke.py --server PATH --loadgen PATH [--seconds F]
 """
 
 import argparse
 import json
+import os
 import re
 import socket
 import subprocess
 import sys
+import tempfile
 import time
 
 LISTEN_RE = re.compile(r"flit-server: listening on ([0-9.]+):(\d+)")
@@ -73,6 +81,27 @@ def inline_shutdown(host, port):
         reply = s.recv(64)
     if not reply.startswith(b"+OK"):
         raise SystemExit(f"server_smoke: inline SHUTDOWN got {reply!r}")
+
+
+def inline_stats(host, port):
+    """Fetch STATS via the inline framing and parse its k=v fields."""
+    with socket.create_connection((host, port), timeout=10) as s:
+        s.sendall(b"STATS\r\n")
+        buf = b""
+        while b"\r\n" not in buf:
+            buf += s.recv(4096)
+        if not buf.startswith(b"$"):
+            raise SystemExit(f"server_smoke: STATS got {buf!r}")
+        header, _, rest = buf.partition(b"\r\n")
+        want = int(header[1:]) + 2  # payload + trailing CRLF
+        while len(rest) < want:
+            rest += s.recv(4096)
+    fields = {}
+    for tok in rest[:want - 2].decode().split():
+        if "=" in tok:
+            k, _, v = tok.partition("=")
+            fields[k] = int(v) if v.isdigit() else v
+    return fields
 
 
 def wait_exit(proc, what):
@@ -135,6 +164,46 @@ def main():
                          f"failures")
     if scans["layout"] != "ordered":
         raise SystemExit("server_smoke: expected the ordered layout")
+
+    # --- round 3: durability modes checkpoint on a file-backed store -----
+    with tempfile.TemporaryDirectory(prefix="flit_server_smoke_") as tmp:
+        # always: every write batch checkpoints, so the counter must grow
+        # roughly with traffic (>= 2 guards against a single close-time
+        # checkpoint masquerading as per-batch durability).
+        img = os.path.join(tmp, "always.img")
+        proc, host, port = start_server(
+            args, ["--layout=hashed", "--workers=2", "--keys=4000",
+                   f"--file={img}", "--durability=always",
+                   "--capacity-mb=128"])
+        before = inline_stats(host, port).get("checkpoints")
+        if before is None:
+            raise SystemExit("server_smoke: STATS lacks a checkpoints field")
+        run_loadgen(args, host, port,
+                    ["--mix=A", "--keys=4000", "--conns=2", "--pipeline=8"])
+        delta = inline_stats(host, port)["checkpoints"] - before
+        inline_shutdown(host, port)
+        wait_exit(proc, "always-durability server")
+        print(f"server_smoke: durability=always checkpoints delta={delta}")
+        if delta < 2:
+            raise SystemExit("server_smoke: --durability=always did not "
+                             "checkpoint with traffic")
+
+        # everysec (shrunk to 50ms): the flusher must checkpoint on its
+        # timer, no traffic required beyond the initial load.
+        img = os.path.join(tmp, "everysec.img")
+        proc, host, port = start_server(
+            args, ["--layout=hashed", "--workers=2", "--keys=4000",
+                   f"--file={img}", "--durability=everysec",
+                   "--flush-ms=50", "--capacity-mb=128"])
+        before = inline_stats(host, port)["checkpoints"]
+        time.sleep(0.5)
+        delta = inline_stats(host, port)["checkpoints"] - before
+        inline_shutdown(host, port)
+        wait_exit(proc, "everysec-durability server")
+        print(f"server_smoke: durability=everysec checkpoints delta={delta}")
+        if delta < 2:
+            raise SystemExit("server_smoke: the everysec flusher is not "
+                             "checkpointing on its interval")
 
     print("server_smoke: OK")
     return 0

@@ -30,6 +30,7 @@
 #include <cstddef>
 #include <limits>
 #include <optional>
+#include <stdexcept>
 #include <type_traits>
 
 #include "core/modes.hpp"
@@ -249,10 +250,18 @@ class HarrisList {
   }
 
   /// Number of reachable (unmarked) keys; single-threaded use only.
+  /// Throws std::length_error on a chain that dead-ends before the tail
+  /// sentinel — a healthy list always reaches it, so a premature null is
+  /// a truncated/torn image (e.g. a node zeroed by file truncation), and
+  /// walking past it would either miscount silently or dereference null.
   std::size_t size() const {
     std::size_t n = 0;
     const Node* c = without_mark(head_->next.load_private());
     while (c != tail_) {
+      if (c == nullptr) {
+        throw std::length_error(
+            "ds::HarrisList: chain breaks before the tail sentinel");
+      }
       if (!is_marked(c->next.load_private())) ++n;
       c = without_mark(c->next.load_private());
     }
@@ -281,14 +290,23 @@ class HarrisList {
   /// f(node, is_marked). Single-threaded use only (recovery sweeps that
   /// rebuild allocator metadata must see every byte a traversal could
   /// reach; note a *marked* node's value may reference already-reclaimed
-  /// storage, which is why the flag is passed along).
+  /// storage, which is why the flag is passed along). Every healthy chain
+  /// terminates at the tail sentinel (the only node whose next is null);
+  /// a walk ending anywhere else is a truncated/torn image and throws
+  /// std::length_error rather than letting recovery half-succeed.
   template <class F>
   void for_each_linked(F&& f) const {
     const Node* c = head_;
+    const Node* last = nullptr;
     while (c != nullptr) {
       const Node* succ = c->next.load_private();
       f(*c, is_marked(succ));
+      last = c;
       c = without_mark(succ);
+    }
+    if (last != tail_) {
+      throw std::length_error(
+          "ds::HarrisList: chain breaks before the tail sentinel");
     }
   }
 

@@ -21,6 +21,7 @@
 #include <cstddef>
 #include <limits>
 #include <optional>
+#include <stdexcept>
 #include <type_traits>
 
 #include "core/modes.hpp"
@@ -276,6 +277,10 @@ class SkipList {
     std::size_t n = 0;
     const Node* c = without_mark(head_->next[0].load_private());
     while (c != tail_) {
+      if (c == nullptr) {
+        throw std::length_error(
+            "ds::SkipList: bottom level breaks before the tail sentinel");
+      }
       if (!is_marked(c->next[0].load_private())) ++n;
       c = without_mark(c->next[0].load_private());
     }
@@ -349,13 +354,23 @@ class SkipList {
   /// sweeps that rebuild allocator metadata must see every byte a
   /// traversal could reach; a *marked* node's value may reference
   /// already-reclaimed storage, which is why the flag is passed along).
+  /// Every healthy bottom level terminates at the tail sentinel (the only
+  /// tower whose next[0] is null); a walk ending anywhere else is a
+  /// truncated/torn image and throws std::length_error rather than
+  /// letting recovery half-succeed.
   template <class F>
   void for_each_linked(F&& f) const {
     const Node* c = head_;
+    const Node* last = nullptr;
     while (c != nullptr) {
       const Node* succ = c->next[0].load_private();
       f(*c, is_marked(succ));
+      last = c;
       c = without_mark(succ);
+    }
+    if (last != tail_) {
+      throw std::length_error(
+          "ds::SkipList: bottom level breaks before the tail sentinel");
     }
   }
 
@@ -457,7 +472,15 @@ class SkipList {
 
     Node* prev0 = head_;
     Node* c = without_mark(head_->next[0].load_private());
-    while (c != tail_ && c != nullptr) {
+    while (c != tail_) {
+      if (c == nullptr) {
+        // The durable bottom level dead-ends before the tail sentinel: a
+        // truncated/torn image. Abort before re-stitching (and durably
+        // persisting) an index over the broken chain — the caller rejects
+        // the whole store instead of half-recovering it.
+        throw std::length_error(
+            "ds::SkipList: bottom level breaks before the tail sentinel");
+      }
       Node* nxt = c->next[0].load_private();
       if (is_marked(nxt)) {  // logically deleted: drop from every level
         c = without_mark(nxt);

@@ -333,8 +333,14 @@ class Shard {
     std::uintptr_t hi = backend_.roots_extent();
     backend_.for_each_linked([&hi, lo, limit](const Node& n, bool marked) {
       const auto na = reinterpret_cast<std::uintptr_t>(&n);
+      // Address first, then layout: node_bytes reads the node (a skiplist
+      // tower's height), so an out-of-region link must be rejected before
+      // the first field access, not diagnosed by the SIGSEGV it causes.
+      if (na < lo || na >= limit || sizeof(Node) > limit - na) {
+        throw std::length_error("kv: node pointer outside the region");
+      }
       const std::size_t nb = Backend::node_bytes(n);  // validates layout
-      if (na >= limit || nb > limit - na) {
+      if (nb > limit - na) {
         throw std::length_error("kv: node extends past the region");
       }
       if (na + nb > hi) hi = na + nb;

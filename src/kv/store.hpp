@@ -70,6 +70,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <limits>
 #include <memory>
 #include <mutex>
@@ -251,6 +252,8 @@ class Store {
         range_chunk_(o.range_chunk_),
         durability_(o.durability_.load(std::memory_order_relaxed)),
         checkpoints_(o.checkpoints_.load(std::memory_order_relaxed)),
+        checkpoint_pre_(std::move(o.checkpoint_pre_)),
+        checkpoint_post_(std::move(o.checkpoint_post_)),
         durability_ctl_(std::move(o.durability_ctl_)) {
     if (durability_ctl_) {
       // The flusher thread targets the store through the control block;
@@ -369,7 +372,19 @@ class Store {
         // high-water mark by sweeping what the shards actually reach. A
         // clean shutdown left the flag slot set, making the mark
         // authoritative and the O(data) sweep skippable.
-        Store s = recover_handles(static_cast<Superblock*>(root));
+        //
+        // Handle recovery itself walks every chain (the size re-count, the
+        // ordered index rebuild); a truncated or torn image surfaces there
+        // as std::length_error — a broken chain, an impossible node — and
+        // must reject the open, not escape as a generic runtime error or
+        // worse, yield a silently half-recovered store.
+        Store s = [&] {
+          try {
+            return recover_handles(static_cast<Superblock*>(root));
+          } catch (const std::length_error& e) {
+            throw IncompatibleStore(e.what());
+          }
+        }();
         std::size_t resume = region.bump();
         if (region.root(kCleanShutdownSlot) == nullptr) {
           const auto base =
@@ -753,6 +768,23 @@ class Store {
     if (durability_mode() == DurabilityMode::kAlways) checkpoint();
   }
 
+  /// Observe each checkpoint's durability point: `pre` runs immediately
+  /// before the msync (snapshot what is about to become durable), `post`
+  /// immediately after it returns (everything snapshotted IS durable).
+  /// Both run on whichever thread checkpoints — an explicit checkpoint()
+  /// caller, the kEverySec flusher, or a kAlways note_write_commit() —
+  /// and are serialized with the checkpoint itself (callers hold the
+  /// durability control mutex when one exists), so a pre/post pair never
+  /// interleaves with another checkpoint's. This is the ack-point surface
+  /// the crash-test harness builds its acknowledgement stream on; either
+  /// hook may be empty. Not thread-safe against concurrent checkpoints:
+  /// install hooks before the store starts taking traffic.
+  void set_checkpoint_hooks(std::function<void()> pre,
+                            std::function<void()> post) {
+    checkpoint_pre_ = std::move(pre);
+    checkpoint_post_ = std::move(post);
+  }
+
   /// Quiesce and detach. File-backed: drain reclamation, persist the
   /// allocator high-water mark, sync and unmap (see the lifetime contract
   /// above). Pool-backed: just release the volatile handles. Stop-the-
@@ -817,9 +849,11 @@ class Store {
   /// the control block exists.
   void checkpoint_impl() {
     if (!file_backed_) return;
+    if (checkpoint_pre_) checkpoint_pre_();
     region_.set_bump(pmem::Pool::instance().bump_used());
     region_.sync();
     checkpoints_.fetch_add(1, std::memory_order_relaxed);
+    if (checkpoint_post_) checkpoint_post_();
   }
 
   void stop_flusher() noexcept {
@@ -973,6 +1007,7 @@ class Store {
   // recovery re-selects the mode and restarts the counter from zero.
   std::atomic<DurabilityMode> durability_{DurabilityMode::kNever};
   std::atomic<std::uint64_t> checkpoints_{0};
+  std::function<void()> checkpoint_pre_, checkpoint_post_;
   std::unique_ptr<DurabilityCtl> durability_ctl_;
 };
 

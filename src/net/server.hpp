@@ -44,6 +44,7 @@
 
 #include <atomic>
 #include <cerrno>
+#include <concepts>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -109,6 +110,9 @@ class Server {
   };
   static constexpr bool kHasDurabilityHook = requires(KV& s) {
     { s.note_write_commit() };
+  };
+  static constexpr bool kHasCheckpoints = requires(const KV& s) {
+    { s.checkpoints() } -> std::convertible_to<std::uint64_t>;
   };
 
   Server(KV& store, ServerConfig cfg)
@@ -751,18 +755,25 @@ class Server {
       }
       case Cmd::kStats: {
         const pmem::StatsSnapshot ps = pmem::stats_snapshot();
-        char buf[320];
+        // Stores without the durability surface (plain maps in tests)
+        // report 0 checkpoints rather than dropping the field — smoke
+        // scripts parse STATS by key and rely on the key being present.
+        unsigned long long ckpts = 0;
+        if constexpr (kHasCheckpoints) {
+          ckpts = static_cast<unsigned long long>(store_.checkpoints());
+        }
+        char buf[352];
         std::snprintf(
             buf, sizeof(buf),
             "layout=%s requests=%llu connections=%llu batched_keys=%llu "
             "scalar_ops=%llu protocol_errors=%llu pwbs=%llu pfences=%llu "
-            "keys=%llu",
+            "checkpoints=%llu keys=%llu",
             KV::kOrdered ? "ordered" : "hashed",
             load(stats_.requests), load(stats_.connections),
             load(stats_.batched_keys), load(stats_.scalar_ops),
             load(stats_.protocol_errors),
             static_cast<unsigned long long>(ps.pwbs),
-            static_cast<unsigned long long>(ps.pfences),
+            static_cast<unsigned long long>(ps.pfences), ckpts,
             static_cast<unsigned long long>(store_.size()));
         append_bulk(c.out, buf);
         return;

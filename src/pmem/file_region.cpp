@@ -105,6 +105,17 @@ FileRegion FileRegion::open(const std::string& path, std::size_t capacity) {
   bool have_prev = false;
   if (existed) {
     const ssize_t n = ::pread(r.fd_, &prev, sizeof(prev), 0);
+    // A short read that still shows the magic is a file truncated inside
+    // its own header: the region committed data once (the magic is only
+    // written on the first sync) but its metadata is gone. Treating it as
+    // fresh would silently reinitialize — i.e. destroy — whatever the
+    // file held, so reject it loudly instead. A magic-less short file
+    // (died before the first header sync) stays a legitimate fresh start.
+    if (n >= static_cast<ssize_t>(sizeof(prev.magic)) &&
+        prev.magic == kMagic && n < static_cast<ssize_t>(sizeof(prev))) {
+      errno = EINVAL;
+      fail("header truncated mid-write; refusing to reinitialize " + path);
+    }
     have_prev = n == static_cast<ssize_t>(sizeof(prev)) &&
                 prev.magic == kMagic;
     if (have_prev) capacity = static_cast<std::size_t>(prev.capacity);

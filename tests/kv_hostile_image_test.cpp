@@ -1,0 +1,207 @@
+// Hostile-image recovery tests: Store::open() against files that were
+// truncated at the worst possible byte — mid-header, mid-superblock and
+// mid-slab (both with and without the clean-shutdown flag, and on both
+// layouts). Every case must end in a clean rejection the caller can
+// catch (kv::IncompatibleStore / std::runtime_error), never a SIGSEGV
+// from walking zeroed node memory and never a silently half-recovered
+// store. The rejecting open must also leave the global Pool untouched —
+// validation precedes adoption.
+//
+// Truncation is the canonical hostile shape because ftruncate-to-larger
+// (which FileRegion::open performs to restore the recorded capacity)
+// refills the lost tail with zeros: every pointer into the cut region
+// becomes a null-looking fake node, which is exactly what the tail-
+// sentinel termination checks in ds::HarrisList / ds::SkipList exist to
+// catch (a healthy chain ends at its tail sentinel; zeroed memory ends
+// at nullptr).
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "core/modes.hpp"
+#include "kv/store.hpp"
+#include "pmem/file_region.hpp"
+#include "support/test_common.hpp"
+
+namespace flit::kv {
+namespace {
+
+using flit::test::PmemTest;
+using K = std::int64_t;
+
+using HashedKv = Store<HashedWords, Automatic>;
+using OrderedKv = OrderedStore<HashedWords, Automatic>;
+
+constexpr std::size_t kCapacity = 8 << 20;
+constexpr std::size_t kHdr = pmem::FileRegion::kHeaderSize;
+
+class KvHostileImageTest : public PmemTest {
+ protected:
+  static std::string temp_path() {
+    return "/tmp/flit_kv_hostile_image_test_" + std::to_string(::getpid()) +
+           ".pmem";
+  }
+
+  struct HeaderBits {
+    std::uint64_t bump = 0;
+    std::uint64_t superblock_off = 0;  // region-relative roots[0]
+  };
+
+  static HeaderBits read_header(const std::string& path) {
+    pmem::FileRegion::Header h{};
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    EXPECT_GE(fd, 0);
+    EXPECT_EQ(::pread(fd, &h, sizeof(h), 0),
+              static_cast<ssize_t>(sizeof(h)));
+    ::close(fd);
+    return {h.bump_offset, h.roots[0]};
+  }
+
+  static void truncate_file(const std::string& path, std::uint64_t bytes) {
+    const int fd = ::open(path.c_str(), O_WRONLY);
+    ASSERT_GE(fd, 0);
+    ASSERT_EQ(::ftruncate(fd, static_cast<off_t>(bytes)), 0);
+    ::close(fd);
+  }
+
+  /// Zero the clean-shutdown root (Header::roots[1]) so the next open
+  /// takes the dirty-image sweep path.
+  static void clear_clean_flag(const std::string& path) {
+    const int fd = ::open(path.c_str(), O_WRONLY);
+    ASSERT_GE(fd, 0);
+    const std::uint64_t zero = 0;
+    const auto at = static_cast<off_t>(
+        offsetof(pmem::FileRegion::Header, roots) + sizeof(std::uint64_t));
+    ASSERT_EQ(::pwrite(fd, &zero, sizeof(zero), at),
+              static_cast<ssize_t>(sizeof(zero)));
+    ::close(fd);
+  }
+
+  template <class StoreT>
+  void populate(const std::string& path) {
+    StoreT kv = StoreT::open(path, kCapacity, 2, 128, KeyRange{0, 4096});
+    for (K k = 0; k < 600; ++k) {
+      kv.put(k, "hostile-image payload " + std::to_string(k) +
+                    std::string(40 + static_cast<std::size_t>(k % 97), 'p'));
+    }
+    kv.close();
+    pmem::Pool::instance().reinit(PmemTest::kPoolBytes);
+  }
+
+  /// The rejection contract: open() throws something catchable twice in
+  /// a row (no crash, no state consumed by the first attempt) and the
+  /// global Pool still serves allocations afterwards.
+  template <class StoreT, class Exception>
+  void expect_stable_rejection(const std::string& path) {
+    EXPECT_THROW(
+        (void)StoreT::open(path, kCapacity, 2, 128, KeyRange{0, 4096}),
+        Exception);
+    EXPECT_THROW(
+        (void)StoreT::open(path, kCapacity, 2, 128, KeyRange{0, 4096}),
+        Exception);
+    void* p = pmem::Pool::instance().alloc(64);
+    ASSERT_NE(p, nullptr);
+    EXPECT_TRUE(pmem::Pool::instance().contains(p));
+  }
+};
+
+TEST_F(KvHostileImageTest, TruncatedMidHeaderIsRejectedNotReinitialized) {
+  const std::string path = temp_path();
+  pmem::FileRegion::destroy(path);
+  populate<HashedKv>(path);
+
+  // Cut inside the region header itself: the magic survives, the
+  // metadata after it does not. Reinitializing would silently destroy
+  // the committed data, so FileRegion::open must refuse.
+  truncate_file(path, 24);
+  expect_stable_rejection<HashedKv, std::runtime_error>(path);
+
+  // The refusal must not have "repaired" the file behind our back.
+  struct stat st = {};
+  ASSERT_EQ(::stat(path.c_str(), &st), 0);
+  EXPECT_EQ(st.st_size, 24) << "a rejecting open must not resize the file";
+  pmem::FileRegion::destroy(path);
+}
+
+TEST_F(KvHostileImageTest, TruncatedMidSuperblockIsRejected) {
+  const std::string path = temp_path();
+  pmem::FileRegion::destroy(path);
+  populate<HashedKv>(path);
+
+  // Cut 12 bytes into the store superblock: its magic survives, the
+  // version/tags/shard-roots beyond the cut read back as zeros.
+  const HeaderBits h = read_header(path);
+  ASSERT_GT(h.superblock_off, 0u);
+  truncate_file(path, kHdr + h.superblock_off + 12);
+  expect_stable_rejection<HashedKv, IncompatibleStore>(path);
+  pmem::FileRegion::destroy(path);
+}
+
+TEST_F(KvHostileImageTest, TruncatedMidSlabCleanImageIsRejected) {
+  const std::string path = temp_path();
+  pmem::FileRegion::destroy(path);
+  populate<HashedKv>(path);
+
+  // The superblock sits at creation-time bump; the 600 records were
+  // appended above it. Cutting between the two leaves every header
+  // intact but breaks bucket chains mid-walk: nodes past the cut read
+  // back as zeros, so a traversal reaches nullptr before the tail
+  // sentinel. Even with the clean-shutdown flag set, recovery must
+  // reject — not crash, and not adopt a store missing half its data.
+  const HeaderBits h = read_header(path);
+  const std::uint64_t cut = h.superblock_off + 8192;
+  ASSERT_LT(cut + 4096, h.bump) << "cut must land inside the data slabs";
+  truncate_file(path, kHdr + cut);
+  expect_stable_rejection<HashedKv, IncompatibleStore>(path);
+  pmem::FileRegion::destroy(path);
+}
+
+TEST_F(KvHostileImageTest, TruncatedMidSlabDirtyImageIsRejected) {
+  const std::string path = temp_path();
+  pmem::FileRegion::destroy(path);
+  populate<HashedKv>(path);
+
+  // Same cut, but with the clean flag cleared the open additionally runs
+  // the dirty-shutdown max-extent sweep, whose bounds checks must fire
+  // before any node field of an out-of-region fake node is read.
+  const HeaderBits h = read_header(path);
+  const std::uint64_t cut = h.superblock_off + 8192;
+  ASSERT_LT(cut + 4096, h.bump);
+  truncate_file(path, kHdr + cut);
+  clear_clean_flag(path);
+  expect_stable_rejection<HashedKv, IncompatibleStore>(path);
+  pmem::FileRegion::destroy(path);
+}
+
+TEST_F(KvHostileImageTest, OrderedLayoutTruncatedMidSlabIsRejected) {
+  const std::string path = temp_path();
+  pmem::FileRegion::destroy(path);
+  populate<OrderedKv>(path);
+
+  // The skiplist variant is the nastier one: recovery also rebuilds the
+  // index levels from the bottom chain, and must abort BEFORE stitching
+  // (and persisting) an index over a broken chain — a half-rebuilt index
+  // would be a silently half-recovered store.
+  const HeaderBits h = read_header(path);
+  const std::uint64_t cut = h.superblock_off + 8192;
+  ASSERT_LT(cut + 4096, h.bump);
+  truncate_file(path, kHdr + cut);
+  expect_stable_rejection<OrderedKv, IncompatibleStore>(path);
+
+  // Dirty variant of the same image shape.
+  pmem::FileRegion::destroy(path);
+  populate<OrderedKv>(path);
+  const HeaderBits h2 = read_header(path);
+  truncate_file(path, kHdr + h2.superblock_off + 8192);
+  clear_clean_flag(path);
+  expect_stable_rejection<OrderedKv, IncompatibleStore>(path);
+  pmem::FileRegion::destroy(path);
+}
+
+}  // namespace
+}  // namespace flit::kv
