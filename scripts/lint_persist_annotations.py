@@ -1,5 +1,6 @@
 #!/usr/bin/env python3
-"""Durable-word hygiene lint for the flit data-structure and KV layers.
+"""Durable-word hygiene lint for the flit data-structure, KV, network,
+and checker layers.
 
 Pool-resident shared words in ``src/ds/`` and ``src/kv/`` must be declared
 as ``persist<T, ...>`` or ``lap_word`` so every store/CAS goes through the
@@ -34,7 +35,11 @@ MARKER = re.compile(r"persist-lint:\s*allow\(([^)]*)\)")
 #: Layers whose shared words must use persist<>/lap_word. src/core (the
 #: annotation machinery itself), src/pmem (the simulator/checker), and
 #: src/bench_util (volatile harness state) legitimately hold raw atomics.
-LINT_DIRS = ("src/ds", "src/kv")
+#: src/net and src/check are covered too: they hold no pool-resident
+#: state at all, so every atomic there must carry an explicit
+#: volatile-by-design marker — keeping "this word is volatile" a reviewed
+#: decision rather than a default.
+LINT_DIRS = ("src/ds", "src/kv", "src/net", "src/check")
 
 SUFFIXES = (".hpp", ".cpp")
 
@@ -72,8 +77,8 @@ def main(argv: list[str]) -> int:
                       f"bypasses persist<>/lap_word: {text}")
     if failures:
         print(f"\n{failures} unexempted raw atomic(s). Pool-resident words "
-              "in src/ds and src/kv must use persist<> or lap_word; words "
-              "that are volatile by design need an inline\n"
+              f"in {', '.join(LINT_DIRS)} must use persist<> or lap_word; "
+              "words that are volatile by design need an inline\n"
               "    // persist-lint: allow(<reason>)\n"
               "marker on (or in the paragraph above) the declaration.")
         return 1

@@ -33,6 +33,7 @@
 #include <stdexcept>
 #include <type_traits>
 
+#include "check/lincheck.hpp"
 #include "core/modes.hpp"
 #include "ds/batch.hpp"
 #include "ds/tagged_ptr.hpp"
@@ -352,6 +353,7 @@ class HarrisList {
       Node* pred = head_;
       Node* curr = without_mark(pred->next.load(Method::traversal_load));
       for (;;) {
+        check::lc_deref(curr, "ds::HarrisList::search");
         Node* succ = curr->next.load(Method::traversal_load);
         while (is_marked(succ)) {
           // curr is logically deleted: unlink it before moving on.
@@ -362,6 +364,7 @@ class HarrisList {
           }
           recl::Ebr::instance().retire_pmem(curr);
           curr = without_mark(succ);
+          check::lc_deref(curr, "ds::HarrisList::search");
           succ = curr->next.load(Method::traversal_load);
         }
         if (curr->key.load(Method::traversal_load) >= k) {

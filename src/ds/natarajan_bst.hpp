@@ -23,6 +23,7 @@
 #include <optional>
 #include <type_traits>
 
+#include "check/lincheck.hpp"
 #include "core/modes.hpp"
 #include "ds/tagged_ptr.hpp"
 #include "pmem/pool.hpp"
@@ -232,10 +233,12 @@ class NatarajanBst {
         sr.parent->left.load(Method::traversal_load);  // raw S→child word
     Node* current_field = nullptr;
     sr.leaf = without_bits(parent_field, kFlagBit | kTagBit);
+    check::lc_deref(sr.leaf, "ds::NatarajanBst::seek");
     current_field = sr.leaf->left.load(Method::traversal_load);
     Node* current = without_bits(current_field, kFlagBit | kTagBit);
 
     while (current != nullptr) {
+      check::lc_deref(current, "ds::NatarajanBst::seek");
       if (get_bits(parent_field, kTagBit) == 0) {
         sr.ancestor = sr.parent;
         sr.successor = sr.leaf;

@@ -24,6 +24,7 @@
 #include <stdexcept>
 #include <type_traits>
 
+#include "check/lincheck.hpp"
 #include "core/modes.hpp"
 #include "ds/batch.hpp"
 #include "ds/tagged_ptr.hpp"
@@ -305,9 +306,11 @@ class SkipList {
     for (int level = kMaxLevel - 1; level >= 0; --level) {
       Node* curr = without_mark(pred->next[level].load(Method::traversal_load));
       for (;;) {
+        check::lc_deref(curr, "ds::SkipList::for_each_range");
         Node* succ = curr->next[level].load(Method::traversal_load);
         while (is_marked(succ)) {
           curr = without_mark(succ);
+          check::lc_deref(curr, "ds::SkipList::for_each_range");
           succ = curr->next[level].load(Method::traversal_load);
         }
         if (curr->key.load(Method::traversal_load) < lo) {
@@ -323,6 +326,7 @@ class SkipList {
     // emitted pair is durably readable before the operation completes.
     Node* curr = without_mark(pred->next[0].load(Method::traversal_load));
     while (curr != tail_) {
+      check::lc_deref(curr, "ds::SkipList::for_each_range");
       Node* succ = curr->next[0].load(Method::transition_load);
       if (!is_marked(succ)) {
         const K k = curr->key.load(Method::transition_load);
@@ -523,6 +527,7 @@ class SkipList {
     for (int level = kMaxLevel - 1; level >= 0; --level) {
       Node* curr = without_mark(pred->next[level].load(Method::traversal_load));
       for (;;) {
+        check::lc_deref(curr, "ds::SkipList::find");
         Node* succ = curr->next[level].load(Method::traversal_load);
         while (is_marked(succ)) {
           // curr is deleted at this level: unlink it.
@@ -532,6 +537,7 @@ class SkipList {
             goto retry;
           }
           curr = without_mark(succ);
+          check::lc_deref(curr, "ds::SkipList::find");
           succ = curr->next[level].load(Method::traversal_load);
         }
         if (curr->key.load(Method::traversal_load) < k) {

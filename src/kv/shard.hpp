@@ -41,6 +41,7 @@
 #include <utility>
 #include <vector>
 
+#include "check/lincheck.hpp"
 #include "ds/batch.hpp"
 #include "ds/tagged_ptr.hpp"
 #include "pmem/persist_check.hpp"
@@ -106,6 +107,17 @@ struct Record {
   /// PersistCheck a fully-Clean range at retirement.
   template <bool persistent = true>
   static void retire(Record* r) {
+    if (check::kLinCheckEnabled &&
+        check::unsafe_mode() == check::UnsafeMode::kEarlyRetire) {
+      // Seeded bug (FLIT_LINCHECK_UNSAFE=early_retire): free the record
+      // immediately instead of through EBR limbo — no grace period, so
+      // the lifetime analyzer must flag an early reclamation here.
+      const std::uint64_t e = recl::Ebr::instance().epoch();
+      check::lc_retire(r, e, "kv::Record::retire[early_retire]");
+      check::lc_free(r, e, /*quiescent=*/false);
+      recl::ebr_pmem_free(r, bytes(r->len));
+      return;
+    }
     if constexpr (persistent) {
       pmem::pc_retire(r, bytes(r->len), "kv::Record::retire");
     }
@@ -169,6 +181,29 @@ class Shard {
     if (reserved_key(k)) {
       throw std::invalid_argument("kv: INT64_MIN/INT64_MAX are reserved");
     }
+    if constexpr (check::kLinCheckEnabled) {
+      const check::UnsafeMode m = check::unsafe_mode();
+      if (m == check::UnsafeMode::kLostUpdate) {
+        // Seeded bug (FLIT_LINCHECK_UNSAFE=lost_update): compute the
+        // fresh-insert flag but never apply the write — a later get
+        // misses this update and the checker must report kLostUpdate.
+        return !backend_.contains(k);
+      }
+      if (m == check::UnsafeMode::kStaleRead) {
+        // Seeded bug (FLIT_LINCHECK_UNSAFE=stale_read): park the real
+        // application until the next write flushes pending work. A get
+        // between this call's return and that flush observes the
+        // superseded value — the checker must report kStaleRead.
+        check::unsafe_apply_pending();
+        Record* rec = Record::create<Backend::kPersistent>(value);
+        if constexpr (Backend::kPersistent) {
+          pmem::pc_publish(rec, Record::bytes(rec->len), "kv::Shard::put");
+        }
+        const bool fresh = !backend_.contains(k);
+        check::unsafe_defer([this, k, rec] { apply_put(k, rec); });
+        return fresh;
+      }
+    }
     // No guard here: the record is thread-private until upsert publishes
     // it, the backend operations pin their own epochs, and pinning across
     // a large value's copy + per-line flush would stall reclamation
@@ -177,24 +212,7 @@ class Shard {
     if constexpr (Backend::kPersistent) {
       pmem::pc_publish(rec, Record::bytes(rec->len), "kv::Shard::put");
     }
-    std::optional<Record*> old;
-    try {
-      old = backend_.upsert(k, rec);
-    } catch (...) {
-      // upsert's node allocation can throw on a near-full pool; rec was
-      // never published, so free it immediately rather than leak it.
-      pmem::Pool::instance().dealloc(rec, Record::bytes(rec->len));
-      throw;
-    }
-    if (old) {
-      // We won the value-word CAS that superseded *old: unique retirement
-      // ownership. The counter is untouched — an overwrite changes no
-      // key's presence, so size() no longer dips during overwrites.
-      Record::retire<Backend::kPersistent>(*old);
-      return false;
-    }
-    approx_size_.fetch_add(1, std::memory_order_relaxed);
-    return true;
+    return apply_put(k, rec);
   }
 
   /// Copy out the value for k (nullopt if absent). The Ebr::Guard spans
@@ -205,6 +223,7 @@ class Shard {
     recl::Ebr::Guard g;
     const std::optional<Record*> rec = backend_.find(k);
     if (!rec) return std::nullopt;
+    check::lc_deref(*rec, "kv::Shard::get");
     return std::string((*rec)->view());
   }
 
@@ -241,6 +260,7 @@ class Shard {
     if (reserved_key(k)) return std::nullopt;
     const std::optional<Record*> rec = backend_.find_batched(k);
     if (!rec) return std::nullopt;
+    check::lc_deref(*rec, "kv::Shard::get_batched");
     return std::string((*rec)->view());
   }
 
@@ -295,6 +315,7 @@ class Shard {
     recl::Ebr::Guard g;
     std::size_t added = 0;
     backend_.for_each_range(lo, [&](Key k, Record* r) {
+      check::lc_deref(r, "kv::Shard::scan");
       out.emplace_back(k, std::string(r->view()));
       return ++added < limit;
     });
@@ -368,6 +389,30 @@ class Shard {
 
  private:
   explicit Shard(Backend&& b) noexcept : backend_(std::move(b)) {}
+
+  /// The publish half of put(): install the already-persisted record and
+  /// retire whatever it superseded. Split out so the seeded stale_read
+  /// bug can defer exactly this step.
+  bool apply_put(Key k, Record* rec) {
+    std::optional<Record*> old;
+    try {
+      old = backend_.upsert(k, rec);
+    } catch (...) {
+      // upsert's node allocation can throw on a near-full pool; rec was
+      // never published, so free it immediately rather than leak it.
+      pmem::Pool::instance().dealloc(rec, Record::bytes(rec->len));
+      throw;
+    }
+    if (old) {
+      // We won the value-word CAS that superseded *old: unique retirement
+      // ownership. The counter is untouched — an overwrite changes no
+      // key's presence, so size() no longer dips during overwrites.
+      Record::retire<Backend::kPersistent>(*old);
+      return false;
+    }
+    approx_size_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
 
   Backend backend_;
   /// Linearized inserts minus removes; see size(). Cache-line aligned:

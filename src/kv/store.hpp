@@ -83,6 +83,7 @@
 #include <utility>
 #include <vector>
 
+#include "check/lincheck.hpp"
 #include "kv/backend.hpp"
 #include "kv/shard.hpp"
 #include "pmem/file_region.hpp"
@@ -450,21 +451,38 @@ class Store {
   /// (INT64_MIN/INT64_MAX), std::length_error past Record::kMaxValueBytes,
   /// std::bad_alloc on a full pool.
   bool put(Key k, std::string_view value) {
-    return shard_for(k).put(k, value);
+    const std::uint64_t inv = check::lc_begin();
+    const bool fresh = shard_for(k).put(k, value);
+    check::lc_end_write(inv, check::Op::kPut, k, value, fresh);
+    return fresh;
   }
 
   /// Copy out the value for k (nullopt if absent). The returned string is
   /// a private copy taken under an EBR guard — always intact, never torn,
   /// even against concurrent overwrites of k.
   std::optional<std::string> get(Key k) const {
-    return shard_for(k).get(k);
+    const std::uint64_t inv = check::lc_begin();
+    std::optional<std::string> out = shard_for(k).get(k);
+    check::lc_end_read(inv, k, out.has_value(),
+                       out ? std::string_view(*out) : std::string_view{});
+    return out;
   }
 
   /// Remove k. Returns true if it was present. The removal is durable
   /// before the call returns (per Words×Method).
-  bool remove(Key k) { return shard_for(k).remove(k); }
+  bool remove(Key k) {
+    const std::uint64_t inv = check::lc_begin();
+    const bool present = shard_for(k).remove(k);
+    check::lc_end_write(inv, check::Op::kRemove, k, {}, present);
+    return present;
+  }
 
-  bool contains(Key k) const { return shard_for(k).contains(k); }
+  bool contains(Key k) const {
+    const std::uint64_t inv = check::lc_begin();
+    const bool hit = shard_for(k).contains(k);
+    check::lc_end_contains(inv, k, hit);
+    return hit;
+  }
 
   // --- batched multi-operations --------------------------------------------
   // Real serving traffic arrives in batches (RPC multi-get, pipelined
@@ -488,6 +506,7 @@ class Store {
     const std::size_t n = keys.size();
     std::vector<std::optional<std::string>> out(n);
     if (n == 0) return out;
+    const std::uint64_t lc_inv = check::lc_begin();
     std::vector<std::uint32_t> sidx, order;
     group_by_shard(
         n, [&](std::size_t i) { return keys[i]; }, sidx, order);
@@ -503,6 +522,15 @@ class Store {
       }
     }
     Words::operation_completion();  // one fence for the whole batch
+    if constexpr (check::kLinCheckEnabled) {
+      // Every element shares the batch's inv tick (its lookup could have
+      // linearized any time after the call began); resp ticks are per
+      // element, taken now, after all lookups completed.
+      for (std::size_t i = 0; i < n; ++i) {
+        check::lc_end_read(lc_inv, keys[i], out[i].has_value(),
+                           out[i] ? *out[i] : std::string_view{});
+      }
+    }
     return out;
   }
 
@@ -535,6 +563,7 @@ class Store {
       }
       (void)v;
     }
+    const std::uint64_t lc_inv = check::lc_begin();
     std::vector<std::uint32_t> sidx, order;
     group_by_shard(
         n, [&](std::size_t i) { return kvs[i].first; }, sidx, order);
@@ -595,6 +624,16 @@ class Store {
     // Phase 3: one fence covers every publish pwb, then untag/clear and
     // retire the superseded records.
     commit_publishes(batch, superseded);
+    if constexpr (check::kLinCheckEnabled) {
+      // Recorded only on full success: an exception path leaves a prefix
+      // applied but unrecorded, which the checker cannot distinguish from
+      // crashes — acceptable, since the recorder is test-scoped and the
+      // stress drivers never overcommit the pool.
+      for (std::size_t i = 0; i < n; ++i) {
+        check::lc_end_write(lc_inv, check::Op::kPut, kvs[i].first,
+                            kvs[i].second, fresh[i]);
+      }
+    }
     return fresh;
   }
 
@@ -607,6 +646,7 @@ class Store {
     const std::size_t n = keys.size();
     std::vector<bool> out(n, false);
     if (n == 0) return out;
+    const std::uint64_t lc_inv = check::lc_begin();
     std::vector<std::uint32_t> sidx, order;
     group_by_shard(
         n, [&](std::size_t i) { return keys[i]; }, sidx, order);
@@ -617,6 +657,12 @@ class Store {
       }
       const std::uint32_t i = order[pos];
       out[i] = shards_[sidx[i]].remove(keys[i]);
+    }
+    if constexpr (check::kLinCheckEnabled) {
+      for (std::size_t i = 0; i < n; ++i) {
+        check::lc_end_write(lc_inv, check::Op::kRemove, keys[i], {},
+                            out[i]);
+      }
     }
     return out;
   }
@@ -650,6 +696,7 @@ class Store {
   {
     out.clear();
     if (n == 0) return 0;
+    const std::uint64_t lc_inv = check::lc_begin();
     std::size_t got = 0;
     const std::size_t first = shard_index(start);
     for (std::size_t i = first; i < shards_.size() && got < n; ++i) {
@@ -657,6 +704,7 @@ class Store {
       const Key lo = i == first ? start : std::numeric_limits<Key>::min();
       got += shards_[i].scan(lo, n - got, out);
     }
+    check::lc_end_scan(lc_inv, start, n, out);
     return got;
   }
 

@@ -88,6 +88,7 @@ struct ServerConfig {
 };
 
 /// Process-wide serving counters (relaxed; read by STATS and tests).
+// persist-lint: allow(serving statistics — heap-resident, zeroed at start)
 struct ServerStats {
   std::atomic<std::uint64_t> connections{0};  ///< accepted, lifetime
   std::atomic<std::uint64_t> requests{0};     ///< commands executed
@@ -790,6 +791,7 @@ class Server {
     }
   }
 
+  // persist-lint: allow(reads the volatile ServerStats counters above)
   static unsigned long long load(
       const std::atomic<std::uint64_t>& a) noexcept {
     return static_cast<unsigned long long>(
@@ -819,6 +821,7 @@ class Server {
   SocketFd listen_fd_;
   SocketFd stop_event_;
   std::uint16_t port_ = 0;
+  // persist-lint: allow(shutdown latch — volatile process state)
   std::atomic<bool> stop_{false};
   std::vector<std::unique_ptr<Worker>> workers_;
   ServerStats stats_;

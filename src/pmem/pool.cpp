@@ -8,6 +8,7 @@
 #include <cstring>
 #include <mutex>
 
+#include "check/lincheck.hpp"
 #include "pmem/cacheline.hpp"
 #include "pmem/persist_check.hpp"
 #include "pmem/sim_memory.hpp"
@@ -62,12 +63,16 @@ void Pool::reinit(std::size_t capacity) {
   g_bump.store(0, std::memory_order_relaxed);
   // Invalidate every thread's arena lazily.
   g_pool_epoch.fetch_add(1, std::memory_order_acq_rel);
+  // The new mapping may land over addresses of the discarded pool's
+  // retired records; stale registry entries would alias fresh nodes.
+  check::lc_pool_reset();
 }
 
 void Pool::reset() {
   std::lock_guard<std::mutex> lk(g_init_mu);
   g_bump.store(0, std::memory_order_relaxed);
   g_pool_epoch.fetch_add(1, std::memory_order_acq_rel);
+  check::lc_pool_reset();  // every address is about to be recycled
 }
 
 void Pool::ensure_init() {
@@ -127,6 +132,9 @@ void* Pool::alloc(std::size_t size) {
   // and recycled blocks still hold the freed object's stale words. Marking
   // here covers every allocation site with one hook.
   pc_store(out, rounded);
+  // Any retired/freed record this block overlaps is being legitimately
+  // recycled — the lifetime analyzer must forget it.
+  check::lc_alloc(out, rounded);
   return out;
 }
 
@@ -165,6 +173,7 @@ void Pool::adopt(void* base, std::size_t capacity,
       (initial_bump + kChunkSize - 1) & ~(kChunkSize - 1);
   g_bump.store(resumed, std::memory_order_relaxed);
   g_pool_epoch.fetch_add(1, std::memory_order_acq_rel);
+  check::lc_pool_reset();
 }
 
 std::size_t Pool::bump_used() const noexcept {

@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "check/lincheck.hpp"
 #include "pmem/pool.hpp"
 
 namespace flit::recl {
@@ -76,10 +77,17 @@ void Ebr::leave() {
   }
 }
 
+std::uint64_t Ebr::current_announce() noexcept {
+  ThreadState& ts = tls();
+  if (ts.guard_depth == 0) return kIdleEpoch;
+  return slots_[ts.slot].announce.load(std::memory_order_relaxed);
+}
+
 void Ebr::retire(void* p, void (*deleter)(void*)) {
   if (!reclaim_.load(std::memory_order_relaxed)) return;  // crash-test leak
   ThreadState& ts = tls();
   const std::uint64_t e = global_epoch_.load(std::memory_order_acquire);
+  check::lc_retire(p, e, "recl::Ebr::retire");
   Bucket& b = ts.buckets[e % 3];
   if (b.epoch != e) {
     // Entering epoch e recycles this bucket: its content was retired in
@@ -110,9 +118,13 @@ void Ebr::scan(ThreadState& ts) {
   }
 }
 
-void Ebr::free_bucket(Bucket& b) {
+void Ebr::free_bucket(Bucket& b, bool quiescent) {
   if (b.nodes.empty()) return;
   limbo_count_.fetch_sub(b.nodes.size(), std::memory_order_relaxed);
+  if constexpr (check::kLinCheckEnabled) {
+    const std::uint64_t now = global_epoch_.load(std::memory_order_acquire);
+    for (const Retired& r : b.nodes) check::lc_free(r.p, now, quiescent);
+  }
   for (const Retired& r : b.nodes) r.deleter(r.p);
   b.nodes.clear();
 }
@@ -135,9 +147,9 @@ void Ebr::drain_all() {
   // orphans. Other threads' buckets are handed over when those threads
   // exit; tests drain after joining their workers.
   ThreadState& ts = tls();
-  for (Bucket& b : ts.buckets) free_bucket(b);
+  for (Bucket& b : ts.buckets) free_bucket(b, /*quiescent=*/true);
   std::lock_guard<std::mutex> lk(orphan_mu_);
-  for (Bucket& b : orphans_) free_bucket(b);
+  for (Bucket& b : orphans_) free_bucket(b, /*quiescent=*/true);
   orphans_.clear();
 }
 

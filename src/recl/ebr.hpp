@@ -37,6 +37,9 @@ class Ebr {
   static constexpr std::size_t kMaxThreads = 256;
   /// Try to advance the epoch / recycle limbo every this many retires.
   static constexpr std::size_t kScanThreshold = 64;
+  /// The announcement value of a thread holding no guard (what
+  /// current_announce() returns when idle).
+  static constexpr std::uint64_t kIdleEpoch = ~std::uint64_t{0};
 
   static Ebr& instance();
 
@@ -76,6 +79,10 @@ class Ebr {
   std::uint64_t epoch() const noexcept {
     return global_epoch_.load(std::memory_order_acquire);
   }
+  /// The calling thread's current epoch announcement (kIdleEpoch when it
+  /// holds no guard). Used by the LinCheck lifetime analyzer to judge
+  /// dereferences of retired nodes.
+  std::uint64_t current_announce() noexcept;
   /// Nodes currently awaiting reclamation across all threads (approximate).
   std::size_t limbo_size() const noexcept {
     return limbo_count_.load(std::memory_order_relaxed);
@@ -84,7 +91,7 @@ class Ebr {
  private:
   Ebr() = default;
 
-  static constexpr std::uint64_t kIdle = ~std::uint64_t{0};
+  static constexpr std::uint64_t kIdle = kIdleEpoch;
 
   struct alignas(64) Slot {
     std::atomic<std::uint64_t> announce{kIdle};
@@ -115,7 +122,7 @@ class Ebr {
   void enter();
   void leave();
   void scan(ThreadState& ts);
-  void free_bucket(Bucket& b);
+  void free_bucket(Bucket& b, bool quiescent = false);
   void adopt_orphans(std::uint64_t safe_epoch);
 
   std::atomic<std::uint64_t> global_epoch_{2};
