@@ -49,8 +49,24 @@
 // --expect-violation inverts the exit status; CI asserts the harness
 // catches the planted bug.
 //
+// Exhaustion sweep (--inject): the store gets a deliberately tiny
+// capacity so the workload drives it into OutOfSpace mid-run, and the
+// SIGKILL lands on a store operating at the brim. Failed mutations emit
+// an F-line (`F <tid> <lo> <hi>`) excluding those seqs from the ack
+// floor — a refused op promised nothing — while the workload keeps
+// going: removes recycle space and later puts land in it, so the kill
+// samples the full degrade/recycle cycle, and recovery of the
+// nearly-full image is verified like any other iteration. The kill is
+// refusal-triggered: the parent SIGKILLs a randomized --kill-min/max-ms
+// after the *first observed refusal* (not after a fixed wall-clock
+// point), so the brim is reached on loaded CI machines and fast
+// workstations alike; a 10 s fallback caps a workload that never
+// exhausts, and the run fails if no iteration ever hit OutOfSpace
+// (capacity too generous to test anything).
+//
 //   ./flit_crashtest --iters=12 --layout=ordered --durability=always
 //   ./flit_crashtest --mode=net --layout=hashed --iters=6
+//   ./flit_crashtest --inject --iters=8
 //   FLIT_CRASHTEST_UNSAFE_ACK=1 ./flit_crashtest --expect-violation
 #include <fcntl.h>
 #include <poll.h>
@@ -71,6 +87,7 @@
 #include <map>
 #include <optional>
 #include <random>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -107,11 +124,14 @@ struct Options {
   std::size_t capacity_mb = 96;
   int kill_min_ms = 15;
   int kill_max_ms = 350;
+  bool kill_set = false;
   std::uint64_t seed = 0;  // 0: draw from std::random_device
   std::string file;        // default: /tmp/flit_crashtest_<pid>.img
   std::string server;      // default: <dir of argv[0]>/flit_server
   bool expect_violation = false;
   bool verbose = false;
+  bool inject = false;        // exhaustion sweep (see file comment)
+  bool capacity_set = false;  // --capacity-mb given explicitly
 
   // --verify mode (internal; the harness exec's itself with these).
   bool verify = false;
@@ -153,16 +173,21 @@ Options parse(int argc, char** argv) {
       o.shards = std::atoi(v);
     } else if (const char* v = arg_value(a, "--capacity-mb")) {
       o.capacity_mb = std::strtoull(v, nullptr, 10);
+      o.capacity_set = true;
     } else if (const char* v = arg_value(a, "--kill-min-ms")) {
       o.kill_min_ms = std::atoi(v);
+      o.kill_set = true;
     } else if (const char* v = arg_value(a, "--kill-max-ms")) {
       o.kill_max_ms = std::atoi(v);
+      o.kill_set = true;
     } else if (const char* v = arg_value(a, "--seed")) {
       o.seed = std::strtoull(v, nullptr, 10);
     } else if (const char* v = arg_value(a, "--file")) {
       o.file = v;
     } else if (const char* v = arg_value(a, "--server")) {
       o.server = v;
+    } else if (std::strcmp(a, "--inject") == 0) {
+      o.inject = true;
     } else if (std::strcmp(a, "--expect-violation") == 0) {
       o.expect_violation = true;
     } else if (std::strcmp(a, "--verbose") == 0) {
@@ -192,6 +217,24 @@ Options parse(int argc, char** argv) {
   if (o.mode == "net" && o.durability != kv::DurabilityMode::kAlways) {
     // Replies are only durability acks when every batch checkpoints.
     usage_error("--mode=net requires --durability=always");
+  }
+  if (o.inject) {
+    if (o.mode != "api") {
+      // Net mode would need the client side to tolerate -ERR OUT_OF_SPACE
+      // replies; the server's per-request degradation is covered by
+      // net_server_test instead.
+      usage_error("--inject requires --mode=api");
+    }
+    // Small enough that the put/remove mix exhausts it inside the kill
+    // window; a share of overwrites leak (values past the recycled size
+    // classes are bump-only), so the store wedges at the brim quickly.
+    if (!o.capacity_set) o.capacity_mb = 1;
+    // The kill window becomes the post-first-refusal delay (see the
+    // top-of-file comment): short, so the kill lands near the brim.
+    if (!o.kill_set) {
+      o.kill_min_ms = 20;
+      o.kill_max_ms = 150;
+    }
   }
   if (o.file.empty()) {
     o.file = "/tmp/flit_crashtest_" + std::to_string(::getpid()) + ".img";
@@ -352,6 +395,28 @@ template <class StoreT>
           sh.pipe.line("D %d %llu\n", t,
                        static_cast<unsigned long long>(d.seq));
         };
+        // --inject: a mutation refused by the full pool emits an F-line
+        // (those seqs never join the ack floor — a refused op promised
+        // nothing; a multi-op may have landed a prefix, so its elements
+        // stay "in-flight": any per-key post-state is acceptable) and
+        // the workload keeps running at the brim. Without --inject a
+        // bad_alloc escapes to the park-for-the-kill handler below.
+        auto attempt = [&](std::uint64_t lo, std::uint64_t hi,
+                           auto&& fn) -> bool {
+          if (!o.inject) {
+            fn();
+            return true;
+          }
+          try {
+            fn();
+            return true;
+          } catch (const std::bad_alloc&) {
+            sh.pipe.line("F %d %llu %llu\n", t,
+                         static_cast<unsigned long long>(lo),
+                         static_cast<unsigned long long>(hi));
+            return false;
+          }
+        };
 
         try {
           for (;;) {
@@ -387,7 +452,7 @@ template <class StoreT>
                            static_cast<unsigned long long>(seq),
                            static_cast<long long>(k),
                            static_cast<unsigned long long>(vs));
-              apply_put(k, vs);
+              if (!attempt(seq, seq, [&] { apply_put(k, vs); })) continue;
               done(seq);
             } else if (r < 62) {  // multi_put, batch of 6
               char buf[6 * 48];
@@ -409,7 +474,10 @@ template <class StoreT>
               std::vector<std::pair<Key, std::string_view>> kvs;
               kvs.reserve(owned.size());
               for (const auto& [k, v] : owned) kvs.emplace_back(k, v);
-              store.multi_put(kvs);
+              if (!attempt(seq - 5, seq,
+                           [&] { store.multi_put(kvs); })) {
+                continue;
+              }
               done(seq);
             } else if (r < 76) {  // single remove
               const Key k = pick_key();
@@ -417,7 +485,7 @@ template <class StoreT>
               sh.pipe.line("I %d %llu R %lld\n", t,
                            static_cast<unsigned long long>(seq),
                            static_cast<long long>(k));
-              store.remove(k);
+              if (!attempt(seq, seq, [&] { store.remove(k); })) continue;
               done(seq);
             } else if (r < 84) {  // multi_remove, batch of 4
               char buf[4 * 40];
@@ -433,7 +501,10 @@ template <class StoreT>
                 ks.push_back(k);
               }
               sh.pipe.send(buf, static_cast<std::size_t>(n));
-              store.multi_remove(ks);
+              if (!attempt(seq - 3, seq,
+                           [&] { store.multi_remove(ks); })) {
+                continue;
+              }
               done(seq);
             } else if (r < 94) {  // reads keep traversal paths hot
               (void)store.get(pick_key());
@@ -661,11 +732,15 @@ struct IterLog {
   std::vector<std::vector<Key>> op_keys;
   std::vector<std::uint64_t> done_floor;
   std::vector<std::uint64_t> acked_floor;
+  // Seqs refused by a full pool (--inject): excluded from the floors —
+  // a later D covering their seq range must not promise them durable.
+  std::vector<std::set<std::uint64_t>> failed;
+  std::size_t failed_total = 0;
   std::string child_error;
 
   explicit IterLog(int threads)
       : ops(threads), op_keys(threads), done_floor(threads, 0),
-        acked_floor(threads, 0) {}
+        acked_floor(threads, 0), failed(threads) {}
 
   void parse_line(const char* line) {
     int t = 0;
@@ -690,6 +765,16 @@ struct IterLog {
           t < static_cast<int>(ops.size())) {
         acked_floor[t] = std::max<std::uint64_t>(acked_floor[t], seq);
       }
+    } else if (line[0] == 'F') {
+      unsigned long long lo = 0, hi = 0;
+      if (std::sscanf(line, "F %d %llu %llu", &t, &lo, &hi) == 3 &&
+          t >= 0 && t < static_cast<int>(ops.size()) && lo >= 1 &&
+          lo <= hi && hi - lo < 64) {
+        for (unsigned long long s2 = lo; s2 <= hi; ++s2) {
+          failed[t].insert(s2);
+        }
+        ++failed_total;
+      }
     } else if (line[0] == 'E') {
       child_error = line + 2;
     }
@@ -701,6 +786,7 @@ struct IterLog {
     for (std::size_t t = 0; t < ops.size(); ++t) {
       const std::uint64_t floor = std::max(done_floor[t], acked_floor[t]);
       for (std::size_t i = 0; i < ops[t].size() && i < floor; ++i) {
+        if (failed[t].count(i + 1) != 0) continue;  // refused, not covered
         ops[t][i].acked = true;
       }
     }
@@ -750,14 +836,24 @@ int wait_child(pid_t pid) {
 
 /// Read ack lines until `deadline`, then SIGKILL `pid` and drain to EOF.
 /// Returns false on a premature child exit (EOF before the kill).
+/// `refusal_kill_ms >= 0` re-bases the deadline to that many ms after
+/// the first F-line lands (capped by the passed deadline, which then
+/// acts as the never-exhausted fallback).
 bool drain_pipe(int fd, pid_t pid, std::chrono::steady_clock::time_point
                                         deadline,
-                IterLog& log) {
+                IterLog& log, int refusal_kill_ms = -1) {
   std::string buf;
   char chunk[4096];
   bool killed = false;
   bool premature = false;
+  bool refusal_seen = false;
   for (;;) {
+    if (refusal_kill_ms >= 0 && !refusal_seen && log.failed_total > 0) {
+      refusal_seen = true;
+      const auto trigger = std::chrono::steady_clock::now() +
+                           std::chrono::milliseconds(refusal_kill_ms);
+      if (trigger < deadline) deadline = trigger;
+    }
     if (!killed) {
       const auto now = std::chrono::steady_clock::now();
       if (now >= deadline) {
@@ -849,7 +945,7 @@ int run_verifier(const char* self, const Options& o,
 /// One kill/reopen/verify round. Returns 0 ok, 1 violation, -1 error.
 int run_api_iteration(const char* self, const Options& o,
                       std::uint64_t iter_seed, std::mt19937_64& rng,
-                      std::size_t& acked_accum) {
+                      std::size_t& acked_accum, std::size_t& oos_accum) {
   pmem::FileRegion::destroy(o.file);
 
   int fds[2];
@@ -875,11 +971,18 @@ int run_api_iteration(const char* self, const Options& o,
                                                    o.kill_max_ms -
                                                    o.kill_min_ms + 1));
   IterLog log(o.threads);
+  // Inject mode: kill_ms counts from the first refusal, with a generous
+  // fallback so a workload that never exhausts still dies (and then
+  // fails the oos_accum check at the end of main).
   const bool killed_running =
-      drain_pipe(fds[0], pid,
-                 std::chrono::steady_clock::now() +
-                     std::chrono::milliseconds(kill_ms),
-                 log);
+      o.inject ? drain_pipe(fds[0], pid,
+                            std::chrono::steady_clock::now() +
+                                std::chrono::seconds(10),
+                            log, kill_ms)
+               : drain_pipe(fds[0], pid,
+                            std::chrono::steady_clock::now() +
+                                std::chrono::milliseconds(kill_ms),
+                            log);
   ::close(fds[0]);
   const int status = wait_child(pid);
 
@@ -899,11 +1002,14 @@ int run_api_iteration(const char* self, const Options& o,
 
   log.seal();
   acked_accum += log.acked_total();
+  oos_accum += log.failed_total;
   const std::string expect_path = o.file + ".expect";
   if (!log.write_expect(expect_path, o.keys)) return -1;
   if (o.verbose) {
-    std::printf("  kill@%dms issued=%zu acked=%zu\n", kill_ms,
-                log.issued_total(), log.acked_total());
+    std::printf(o.inject ? "  kill@brim+%dms issued=%zu acked=%zu oos=%zu\n"
+                         : "  kill@%dms issued=%zu acked=%zu oos=%zu\n",
+                kill_ms, log.issued_total(), log.acked_total(),
+                log.failed_total);
   }
   return run_verifier(self, o, expect_path);
 }
@@ -1078,13 +1184,14 @@ int main(int argc, char** argv) {
   int violations = 0;
   int errors = 0;
   std::size_t acked_accum = 0;
+  std::size_t oos_accum = 0;
   for (int i = 0; i < o.iters; ++i) {
     const std::uint64_t iter_seed = rng();
     const int r = o.mode == "net"
                       ? run_net_iteration(argv[0], o, iter_seed, rng,
                                           acked_accum)
                       : run_api_iteration(argv[0], o, iter_seed, rng,
-                                          acked_accum);
+                                          acked_accum, oos_accum);
     if (r == 1) {
       ++violations;
       std::fprintf(stderr,
@@ -1137,6 +1244,20 @@ int main(int argc, char** argv) {
                  "iterations — ack plumbing is broken\n",
                  o.iters);
     return 1;
+  }
+  if (o.inject && oos_accum == 0) {
+    std::fprintf(stderr,
+                 "flit-crashtest: --inject never hit OutOfSpace across %d "
+                 "iterations — capacity too generous to test exhaustion\n",
+                 o.iters);
+    return 1;
+  }
+  if (o.inject) {
+    std::printf("flit-crashtest: ok — %d kills at the brim, %zu acked ops "
+                "verified, %zu refusals, 0 violations (seed=%llu)\n",
+                o.iters, acked_accum, oos_accum,
+                static_cast<unsigned long long>(o.seed));
+    return 0;
   }
   std::printf("flit-crashtest: ok — %d kills, %zu acked ops verified, 0 "
               "violations (seed=%llu)\n",

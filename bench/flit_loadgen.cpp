@@ -31,16 +31,27 @@
 // Flags: --host= --port= --conns=N --pipeline=N --mix=A|B|C|E --keys=N
 //        --value-bytes=N --seconds=F --seed=N --sweep --no-load
 //        --shutdown (send SHUTDOWN when done)
+//        --chaos (misbehave on purpose: randomly abandon a flushed burst
+//        without reading replies, half-close mid-round, or send a
+//        truncated frame and hang up — then reconnect and resume. The
+//        server must shrug every one of these off: verification still
+//        runs on well-behaved rounds and any miss/mismatch, or a failure
+//        to reconnect, fails the process. SET payloads are a pure
+//        function of the key, so a torn burst's half-applied writes are
+//        indistinguishable from applied ones.)
 //
 // Emits CSV rows (CsvWriter) and BENCH_flit_loadgen.json; columns are
 // understood by scripts/bench_diff.py (which tolerates their absence in
 // old snapshots).
+#include <sys/socket.h>
+
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -69,6 +80,7 @@ struct Options {
   bool sweep = false;
   bool no_load = false;
   bool shutdown = false;
+  bool chaos = false;
 };
 
 const char* arg_value(const char* arg, const char* name) {
@@ -105,6 +117,8 @@ Options parse(int argc, char** argv) {
       o.no_load = true;
     } else if (std::strcmp(a, "--shutdown") == 0) {
       o.shutdown = true;
+    } else if (std::strcmp(a, "--chaos") == 0) {
+      o.chaos = true;
     } else {
       std::fprintf(stderr, "flit_loadgen: unknown flag %s\n", a);
       std::exit(2);
@@ -184,6 +198,7 @@ struct ConnResult {
   std::uint64_t mismatches = 0;
   std::uint64_t errors = 0;
   std::uint64_t scan_entries = 0;
+  std::uint64_t chaos_events = 0;  ///< rounds sacrificed to --chaos
   LatencyHistogram hist;  ///< per-request sojourn, nanoseconds
 };
 
@@ -194,8 +209,8 @@ ConnResult run_conn(const Options& o, const YcsbMix& mix, int tid,
                     std::atomic<std::int64_t>& frontier,
                     const Zipfian& zipf, Clock::time_point deadline) {
   ConnResult res;
-  net::Client c = net::Client::connect(o.host,
-                                       static_cast<std::uint16_t>(o.port));
+  const auto port = static_cast<std::uint16_t>(o.port);
+  std::optional<net::Client> c(net::Client::connect(o.host, port));
   Rng rng(o.seed + 0x9000ull * static_cast<std::uint64_t>(tid + 1));
 
   struct PendingRead {
@@ -239,20 +254,60 @@ ConnResult run_conn(const Options& o, const YcsbMix& mix, int tid,
       const std::string key = std::to_string(r.key);
       if (r.is_scan) {
         const std::uint64_t len = 1 + rng.next() % mix.max_scan_len;
-        c.enqueue({"SCAN", key, std::to_string(len)});
+        c->enqueue({"SCAN", key, std::to_string(len)});
       } else {
-        c.enqueue({"GET", key});
+        c->enqueue({"GET", key});
       }
     }
     for (const std::int64_t k : writes) {
       value = ycsb_value(k, o.value_bytes);
-      c.enqueue({"SET", std::to_string(k), value});
+      c->enqueue({"SET", std::to_string(k), value});
+    }
+
+    // Chaos: sacrifice ~1 round in 8 to deliberate client misbehavior.
+    // The server owes the process nothing for these rounds — the test is
+    // that it survives them and keeps serving the reconnected client.
+    if (o.chaos && rng.next() % 8 == 0) {
+      ++res.chaos_events;
+      switch (rng.next() % 3) {
+        case 0:
+          // Abandon: flush the burst, hang up without reading replies.
+          c->flush();
+          break;
+        case 1:
+          // Half-close: signal EOF mid-conversation, then drain. The
+          // server must flush the replies it owes before closing.
+          c->flush();
+          ::shutdown(c->fd(), SHUT_WR);
+          try {
+            for (;;) (void)c->read_reply();
+          } catch (const std::exception&) {
+            // EOF is the expected outcome.
+          }
+          break;
+        default: {
+          // Torn frame: the flushed burst plus a request cut off
+          // mid-bulk. The parser must discard the partial state.
+          c->flush();
+          static const char kTorn[] = "*2\r\n$3\r\nGET\r\n$5\r\n12";
+          (void)::send(c->fd(), kTorn, sizeof(kTorn) - 1, MSG_NOSIGNAL);
+          break;
+        }
+      }
+      c.reset();
+      try {
+        c.emplace(net::Client::connect(o.host, port));
+      } catch (const std::exception&) {
+        ++res.errors;  // a chaos round must not cost us the server
+        return res;
+      }
+      continue;
     }
 
     const auto t0 = Clock::now();
-    c.flush();
+    c->flush();
     for (const PendingRead& r : reads) {
-      const net::Reply rep = c.read_reply();
+      const net::Reply rep = c->read_reply();
       if (rep.is_error()) {
         ++res.errors;
         continue;
@@ -289,7 +344,7 @@ ConnResult run_conn(const Options& o, const YcsbMix& mix, int tid,
       }
     }
     for (std::size_t j = 0; j < writes.size(); ++j) {
-      const net::Reply rep = c.read_reply();
+      const net::Reply rep = c->read_reply();
       if (!rep.ok()) ++res.errors;
     }
     const auto dt = static_cast<std::uint64_t>(
@@ -309,7 +364,7 @@ struct PointRow {
   int conns;
   std::size_t pipeline;
   double mops, p50_us, p99_us, p999_us, pfences_per_op, pwbs_per_op;
-  std::uint64_t misses, mismatches, errors;
+  std::uint64_t misses, mismatches, errors, chaos_events;
 };
 
 PointRow run_point(const Options& o, int conns, std::size_t pipeline,
@@ -342,7 +397,12 @@ PointRow run_point(const Options& o, int conns, std::size_t pipeline,
   for (auto& th : threads) th.join();
   const double seconds =
       std::chrono::duration<double>(Clock::now() - t0).count();
-  const net::Reply after = control.command({"STATS"});
+  // Fresh connection for the closing sample: the control connection sat
+  // idle for the whole point and a server running --idle-timeout-ms may
+  // have legitimately reaped it.
+  net::Client control2 = net::Client::connect(
+      p.host, static_cast<std::uint16_t>(p.port));
+  const net::Reply after = control2.command({"STATS"});
 
   ConnResult tot;
   for (const ConnResult& r : results) {
@@ -351,6 +411,7 @@ PointRow run_point(const Options& o, int conns, std::size_t pipeline,
     tot.mismatches += r.mismatches;
     tot.errors += r.errors;
     tot.scan_entries += r.scan_entries;
+    tot.chaos_events += r.chaos_events;
     tot.hist.merge(r.hist);
   }
   const std::uint64_t pfences =
@@ -379,6 +440,7 @@ PointRow run_point(const Options& o, int conns, std::size_t pipeline,
   row.misses = tot.misses;
   row.mismatches = tot.mismatches;
   row.errors = tot.errors;
+  row.chaos_events = tot.chaos_events;
 
   const std::string conns_s = Table::fmt_u(static_cast<std::uint64_t>(conns));
   const std::string pipe_s = Table::fmt_u(pipeline);
@@ -387,7 +449,8 @@ PointRow run_point(const Options& o, int conns, std::size_t pipeline,
            Table::fmt(row.p99_us, 1), Table::fmt(row.p999_us, 1),
            Table::fmt(row.pfences_per_op, 3),
            Table::fmt(row.pwbs_per_op, 3), Table::fmt_u(row.misses),
-           Table::fmt_u(row.mismatches), Table::fmt_u(row.errors)});
+           Table::fmt_u(row.mismatches), Table::fmt_u(row.errors),
+           Table::fmt_u(row.chaos_events)});
   table.add_row({row.layout, row.mix, conns_s, pipe_s,
                  Table::fmt(row.mops, 3), Table::fmt(row.p50_us, 1),
                  Table::fmt(row.p99_us, 1), Table::fmt(row.p999_us, 1),
@@ -416,12 +479,14 @@ void write_json(const char* path, const std::vector<PointRow>& rows,
         "\"batch\": %zu, \"conns\": %d, \"mops\": %.4f, "
         "\"p50_us\": %.2f, \"p99_us\": %.2f, \"p999_us\": %.2f, "
         "\"pfences_per_op\": %.4f, \"pwbs_per_op\": %.4f, "
-        "\"misses\": %llu, \"mismatches\": %llu, \"errors\": %llu}%s\n",
+        "\"misses\": %llu, \"mismatches\": %llu, \"errors\": %llu, "
+        "\"chaos_events\": %llu}%s\n",
         r.layout.c_str(), r.mix.c_str(), r.pipeline, r.conns, r.mops,
         r.p50_us, r.p99_us, r.p999_us, r.pfences_per_op, r.pwbs_per_op,
         static_cast<unsigned long long>(r.misses),
         static_cast<unsigned long long>(r.mismatches),
         static_cast<unsigned long long>(r.errors),
+        static_cast<unsigned long long>(r.chaos_events),
         i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
@@ -448,7 +513,7 @@ int main(int argc, char** argv) {
     CsvWriter csv("flit_loadgen",
                   {"words", "layout", "mix", "batch", "conns", "Mops",
                    "p50_us", "p99_us", "p999_us", "pfences/op", "pwbs/op",
-                   "misses", "mismatches", "errors"});
+                   "misses", "mismatches", "errors", "chaos"});
     std::vector<PointRow> rows;
     if (o.sweep) {
       for (const int conns : {1, 2, 4, 8}) {
@@ -467,11 +532,12 @@ int main(int argc, char** argv) {
         "worker threads saturate; pfences/op falls with pipeline depth on\n"
         "write mixes — the coalesced-fence path driven by real traffic.\n");
 
-    std::uint64_t misses = 0, mismatches = 0, errors = 0;
+    std::uint64_t misses = 0, mismatches = 0, errors = 0, chaos = 0;
     for (const PointRow& r : rows) {
       misses += r.misses;
       mismatches += r.mismatches;
       errors += r.errors;
+      chaos += r.chaos_events;
     }
     const bool ok = misses == 0 && mismatches == 0 && errors == 0;
     write_json("BENCH_flit_loadgen.json", rows, o, ok);
@@ -494,7 +560,12 @@ int main(int argc, char** argv) {
           static_cast<unsigned long long>(errors));
       return 1;
     }
-    std::printf("flit_loadgen: OK\n");
+    if (o.chaos) {
+      std::printf("flit_loadgen: OK (%llu chaos rounds survived)\n",
+                  static_cast<unsigned long long>(chaos));
+    } else {
+      std::printf("flit_loadgen: OK\n");
+    }
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "flit_loadgen: fatal: %s\n", e.what());

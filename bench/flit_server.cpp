@@ -26,6 +26,15 @@
 //                           (default 1000; smoke tests shrink it so a
 //                           checkpoint lands within the test window)
 //   --capacity-mb=N         pool/file capacity (default 1024)
+//   --failpoints=LIST       arm failpoint sites (site=trigger[@errno];...)
+//                           after the store is built — unlike the
+//                           FLIT_FAILPOINTS env var, which would also
+//                           fire during store construction and kill the
+//                           boot. Requires a FLIT_FAILPOINTS=ON build.
+//   --max-conns=N           shed new connections past N open (0 = no
+//                           cap; default 4096)
+//   --idle-timeout-ms=N     close connections idle longer than N ms
+//                           (0 = never; default 0)
 //   --hw                    real clwb/sfence backend instead of the
 //                           simulated-latency one
 //
@@ -40,6 +49,7 @@
 #include <optional>
 #include <string>
 
+#include "core/failpoint.hpp"
 #include "core/modes.hpp"
 #include "kv/store.hpp"
 #include "net/server.hpp"
@@ -61,6 +71,9 @@ struct Options {
   kv::DurabilityMode durability = kv::DurabilityMode::kNever;
   long flush_ms = 1000;
   std::size_t capacity_mb = 1024;
+  std::size_t max_conns = 4096;
+  int idle_timeout_ms = 0;
+  std::string failpoints;
   bool hw = false;
 };
 
@@ -105,6 +118,12 @@ Options parse(int argc, char** argv) {
       o.flush_ms = std::atol(v);
     } else if (const char* v = arg_value(a, "--capacity-mb")) {
       o.capacity_mb = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = arg_value(a, "--failpoints")) {
+      o.failpoints = v;
+    } else if (const char* v = arg_value(a, "--max-conns")) {
+      o.max_conns = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = arg_value(a, "--idle-timeout-ms")) {
+      o.idle_timeout_ms = std::atoi(v);
     } else if (std::strcmp(a, "--hw") == 0) {
       o.hw = true;
     } else {
@@ -119,6 +138,11 @@ Options parse(int argc, char** argv) {
     usage_error("--durability needs a file-backed store (--file=PATH)");
   }
   if (o.flush_ms <= 0) usage_error("--flush-ms must be positive");
+  if (o.idle_timeout_ms < 0) usage_error("--idle-timeout-ms must be >= 0");
+  if (!o.failpoints.empty() && !core::kFailpointsEnabled) {
+    usage_error("--failpoints needs a FLIT_FAILPOINTS=ON build "
+                "(cmake --preset failpoints)");
+  }
   return o;
 }
 
@@ -149,12 +173,22 @@ int serve(const Options& o) {
   StoreT store = make_store<StoreT>(o);
   store.set_durability_mode(o.durability,
                             std::chrono::milliseconds(o.flush_ms));
+  if (!o.failpoints.empty()) {
+    // Armed only now — the store (and its prefilled buckets) is already
+    // built, so injected faults land on served requests, not on boot.
+    const std::size_t n =
+        core::Failpoints::instance().arm_from_list(o.failpoints);
+    std::printf("flit-server: armed %zu failpoint site(s): %s\n", n,
+                o.failpoints.c_str());
+  }
 
   net::ServerConfig cfg;
   cfg.host = o.host;
   cfg.port = static_cast<std::uint16_t>(o.port);
   cfg.workers = o.workers;
   cfg.max_value_bytes = kv::Record::kMaxValueBytes;
+  cfg.max_connections = o.max_conns;
+  cfg.idle_timeout_ms = o.idle_timeout_ms;
   net::Server<StoreT> server(store, cfg);
 
   static net::Server<StoreT>* g_server = nullptr;
@@ -180,13 +214,16 @@ int serve(const Options& o) {
   std::printf(
       "flit-server: stopped. connections=%llu requests=%llu "
       "batched_keys=%llu scalar_ops=%llu protocol_errors=%llu "
-      "checkpoints=%llu keys=%zu\n",
+      "checkpoints=%llu shed=%llu idle_timeouts=%llu keys=%zu\n",
       static_cast<unsigned long long>(s.connections.load()),
       static_cast<unsigned long long>(s.requests.load()),
       static_cast<unsigned long long>(s.batched_keys.load()),
       static_cast<unsigned long long>(s.scalar_ops.load()),
       static_cast<unsigned long long>(s.protocol_errors.load()),
-      static_cast<unsigned long long>(store.checkpoints()), store.size());
+      static_cast<unsigned long long>(store.checkpoints()),
+      static_cast<unsigned long long>(s.shed_connections.load()),
+      static_cast<unsigned long long>(s.idle_timeouts.load()),
+      store.size());
   store.close();  // flusher stops; file-backed: final msync + clean mark
   return 0;
 }

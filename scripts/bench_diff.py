@@ -16,7 +16,14 @@ check_fence_coalescing.py).
 
 Rows that cannot be compared are never dropped silently: a key present
 in only one snapshot, or appearing twice within one snapshot (later
-occurrence wins), produces a WARNING on stderr. `--self-test` exercises
+occurrence wins), produces a WARNING on stderr.
+
+Robustness counters (loadgen snapshots): each side's summed misses /
+mismatches / errors / chaos_events are reported after the table. A
+candidate with verification failures gets a WARNING — its throughput
+numbers come from a broken run and should not be trusted — as does a
+chaos/non-chaos mismatch between the sides (chaos rounds sacrifice
+throughput on purpose, so the Mops delta is not like-for-like). `--self-test` exercises
 both warnings against synthesized snapshots and is wired up as the
 `bench_diff_selftest` CTest entry.
 """
@@ -120,6 +127,29 @@ def main():
         warn(f"{len(only_cand)} candidate row(s) are new and have no "
              f"baseline to compare against")
 
+    def robustness(rows):
+        tot = {"misses": 0, "mismatches": 0, "errors": 0, "chaos_events": 0}
+        for r in rows.values():
+            for name in tot:
+                tot[name] += int(r.get(name, 0))
+        return tot
+
+    rb, rc = robustness(base), robustness(cand)
+    print(f"\nrobustness: baseline  misses={rb['misses']} "
+          f"mismatches={rb['mismatches']} errors={rb['errors']} "
+          f"chaos_events={rb['chaos_events']}")
+    print(f"robustness: candidate misses={rc['misses']} "
+          f"mismatches={rc['mismatches']} errors={rc['errors']} "
+          f"chaos_events={rc['chaos_events']}")
+    bad = rc["misses"] + rc["mismatches"] + rc["errors"]
+    if bad:
+        warn(f"candidate snapshot has {bad} verification failure(s) — "
+             f"its throughput numbers come from a broken run")
+    if (rb["chaos_events"] == 0) != (rc["chaos_events"] == 0):
+        warn("one side ran --chaos and the other did not; chaos rounds "
+             "sacrifice throughput on purpose, so Mops deltas are not "
+             "like-for-like")
+
     print(f"\n{len(shared)} matched rows "
           f"({len(only_base)} baseline-only, {len(only_cand)} candidate-only)")
     return 0
@@ -143,9 +173,11 @@ def self_test():
         with open(base_path, "w") as f:
             json.dump({"rows": [row("A", 1.0), row("A", 1.5),
                                 row("B", 2.0)]}, f)
-        # Candidate: B disappeared, C is new.
+        # Candidate: B disappeared, C is new; A carries verification
+        # failures and chaos rounds — both must be called out.
+        bad_a = dict(row("A", 1.6), errors=3, chaos_events=12)
         with open(cand_path, "w") as f:
-            json.dump({"rows": [row("A", 1.6), row("C", 3.0)]}, f)
+            json.dump({"rows": [bad_a, row("C", 3.0)]}, f)
 
         proc = subprocess.run(
             [sys.executable, os.path.abspath(__file__), base_path,
@@ -161,6 +193,10 @@ def self_test():
         failures.append("no dropped-baseline-row warning on stderr")
     if "1 matched rows" not in proc.stdout:
         failures.append("expected exactly 1 matched row")
+    if "verification failure" not in proc.stderr:
+        failures.append("no broken-candidate robustness warning")
+    if "like-for-like" not in proc.stderr:
+        failures.append("no chaos-mismatch warning")
     if failures:
         for f in failures:
             print(f"bench_diff --self-test: FAIL: {f}", file=sys.stderr)

@@ -20,8 +20,20 @@ flit_loadgen, asserting the acceptance criteria of the network subsystem:
      checkpoint on its timer even while idle — both asserted via STATS
      deltas, so a silently-dead flusher or a disconnected
      note_write_commit() fails the gate.
+  5. Overload protection: with --max-conns=6 the seventh connection is
+     shed (accepted then immediately closed), held-idle connections are
+     reaped by --idle-timeout-ms, both visible in STATS
+     (shed_conns/idle_timeouts), and a --chaos loadgen round (abandoned
+     bursts, half-closes, torn frames) finishes with zero verification
+     failures against the same server.
+  6. (--failpoints builds only) Fault injection over the wire: with the
+     server booted under --failpoints=pool.alloc=prob:0.5, SETs fail
+     per-request with -ERR while GETs of successfully stored keys still
+     verify, STATS injected_faults grows, and the server still shuts
+     down cleanly.
 
 Usage: server_smoke.py --server PATH --loadgen PATH [--seconds F]
+                       [--failpoints]
 """
 
 import argparse
@@ -42,10 +54,12 @@ LISTEN_RE = re.compile(r"flit-server: listening on ([0-9.]+):(\d+)")
 COALESCE_RATIO = 0.6
 
 
-def start_server(args, extra):
+def start_server(args, extra, env=None):
     cmd = [args.server, "--port=0"] + extra
+    child_env = dict(os.environ, **env) if env else None
     proc = subprocess.Popen(cmd, stdout=subprocess.PIPE,
-                            stderr=subprocess.STDOUT, text=True)
+                            stderr=subprocess.STDOUT, text=True,
+                            env=child_env)
     deadline = time.time() + 30
     while time.time() < deadline:
         line = proc.stdout.readline()
@@ -104,6 +118,26 @@ def inline_stats(host, port):
     return fields
 
 
+def inline_roundtrip(sock, line):
+    """Send one inline command, return the reply's first line (statuses
+    and errors whole; bulk replies return the $N header — enough to
+    classify the outcome)."""
+    sock.sendall(line.encode() + b"\r\n")
+    buf = b""
+    while b"\r\n" not in buf:
+        chunk = sock.recv(4096)
+        if not chunk:
+            return ""
+        buf += chunk
+    header = buf.partition(b"\r\n")[0].decode()
+    if header.startswith("$") and not header.startswith("$-1"):
+        want = int(header[1:]) + 2
+        rest = buf.partition(b"\r\n")[2]
+        while len(rest) < want:
+            rest += sock.recv(4096)
+    return header
+
+
 def wait_exit(proc, what):
     try:
         code = proc.wait(timeout=30)
@@ -122,6 +156,9 @@ def main():
     ap.add_argument("--loadgen", required=True)
     ap.add_argument("--seconds", type=float, default=0.3,
                     help="measurement time per loadgen point")
+    ap.add_argument("--failpoints", action="store_true",
+                    help="server was built with FLIT_FAILPOINTS=ON: also "
+                         "run the fault-injection round")
     args = ap.parse_args()
 
     # --- round 1: hashed layout, scalar vs pipelined fence coalescing ----
@@ -204,6 +241,82 @@ def main():
         if delta < 2:
             raise SystemExit("server_smoke: the everysec flusher is not "
                              "checkpointing on its interval")
+
+    # --- round 4: overload protection — shed, idle-reap, chaos traffic ---
+    proc, host, port = start_server(
+        args, ["--layout=hashed", "--workers=2", "--keys=4000",
+               "--max-conns=6", "--idle-timeout-ms=200"])
+    held = [socket.create_connection((host, port), timeout=10)
+            for _ in range(6)]
+    # The seventh connection must be shed: accepted, then closed before
+    # any request is served (a clean EOF or an RST both qualify).
+    with socket.create_connection((host, port), timeout=10) as extra_conn:
+        extra_conn.settimeout(10)
+        try:
+            shed_reply = inline_roundtrip(extra_conn, "STATS")
+        except (ConnectionResetError, BrokenPipeError):
+            shed_reply = ""
+    if shed_reply != "":
+        raise SystemExit(f"server_smoke: connection over --max-conns was "
+                         f"served ({shed_reply!r}), not shed")
+    time.sleep(0.8)  # idle wheel (200ms timeout) reaps the held six
+    for sock in held:
+        sock.close()
+    fields = inline_stats(host, port)
+    print(f"server_smoke: overload shed_conns={fields.get('shed_conns')} "
+          f"idle_timeouts={fields.get('idle_timeouts')} "
+          f"open_conns={fields.get('open_conns')}")
+    if fields.get("shed_conns", 0) < 1:
+        raise SystemExit("server_smoke: shed connection not counted")
+    if fields.get("idle_timeouts", 0) < 1:
+        raise SystemExit("server_smoke: idle connections were never reaped")
+    chaos = run_loadgen(args, host, port,
+                        ["--mix=A", "--keys=4000", "--conns=2",
+                         "--pipeline=8", "--chaos", "--shutdown"])[0]
+    wait_exit(proc, "overload server")
+    bad = chaos["misses"] + chaos["mismatches"] + chaos["errors"]
+    if bad:
+        raise SystemExit(f"server_smoke: chaos run had {bad} verification "
+                         f"failures")
+    if chaos.get("chaos_events", 0) < 1:
+        raise SystemExit("server_smoke: --chaos never fired")
+    print(f"server_smoke: chaos_events={chaos['chaos_events']} survived")
+
+    # --- round 5: per-request fault injection (failpoint builds only) ----
+    if args.failpoints:
+        proc, host, port = start_server(
+            args, ["--layout=hashed", "--workers=2", "--keys=4000",
+                   "--failpoints=pool.alloc=prob:0.5"],
+            env={"FLIT_FAILPOINTS_SEED": "7"})
+        with socket.create_connection((host, port), timeout=10) as s:
+            s.settimeout(10)
+            ok = err = 0
+            stored = []
+            for i in range(9000, 9040):
+                reply = inline_roundtrip(s, f"SET {i} payload{i}")
+                if reply.startswith("+OK"):
+                    ok += 1
+                    stored.append(i)
+                elif reply.startswith("-ERR"):
+                    err += 1
+                else:
+                    raise SystemExit(f"server_smoke: SET got {reply!r}")
+            for i in stored[:5]:
+                reply = inline_roundtrip(s, f"GET {i}")
+                if not reply.startswith("$"):
+                    raise SystemExit(f"server_smoke: GET after injection "
+                                     f"got {reply!r}")
+        fields = inline_stats(host, port)
+        print(f"server_smoke: injection ok={ok} err={err} "
+              f"injected_faults={fields.get('injected_faults')}")
+        if ok < 1 or err < 1:
+            raise SystemExit("server_smoke: prob:0.5 injection should "
+                             "produce both outcomes over 40 SETs")
+        if fields.get("injected_faults", 0) < err:
+            raise SystemExit("server_smoke: STATS injected_faults did not "
+                             "count the injected failures")
+        inline_shutdown(host, port)
+        wait_exit(proc, "injection server")
 
     print("server_smoke: OK")
     return 0

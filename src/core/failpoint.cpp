@@ -1,0 +1,218 @@
+#include "core/failpoint.hpp"
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <random>
+
+namespace flit::core {
+
+namespace {
+
+/// Symbolic errno names the env grammar accepts (the ones the site
+/// catalog injects); anything else must be a plain decimal number.
+int parse_errno(const std::string& s) {
+  if (s == "EIO") return EIO;
+  if (s == "ENOMEM") return ENOMEM;
+  if (s == "ENOSPC") return ENOSPC;
+  if (s == "EMFILE") return EMFILE;
+  if (s == "ENFILE") return ENFILE;
+  if (s == "ECONNRESET") return ECONNRESET;
+  if (s == "EPIPE") return EPIPE;
+  if (s == "EAGAIN") return EAGAIN;
+  char* end = nullptr;
+  const long v = std::strtol(s.c_str(), &end, 10);
+  if (end == s.c_str() || *end != '\0' || v <= 0) return -1;
+  return static_cast<int>(v);
+}
+
+}  // namespace
+
+struct Failpoints::Impl {
+  struct Site {
+    FailSpec spec;
+    std::uint64_t evals = 0;
+    std::uint64_t hits = 0;
+  };
+
+  mutable std::mutex mu;
+  std::map<std::string, Site> sites;
+  std::mt19937_64 rng{1};
+  // Lock-free fast path: should_fail() returns without taking `mu` while
+  // nothing is armed, so an enabled-but-idle build stays cheap.
+  std::atomic<std::size_t> armed{0};
+  std::atomic<std::uint64_t> total_hits{0};
+};
+
+Failpoints& Failpoints::instance() {
+  // Immortal (never destroyed): site hooks run from server workers and
+  // static-destruction-order teardown paths (FileRegion::close from
+  // static Store handles).
+  static Failpoints* f = new Failpoints();
+  return *f;
+}
+
+Failpoints::Failpoints() : impl_(new Impl()) {
+  if (const char* seed = std::getenv("FLIT_FAILPOINTS_SEED")) {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(seed, &end, 10);
+    if (end != seed) impl_->rng.seed(v);
+  }
+  if (const char* list = std::getenv("FLIT_FAILPOINTS")) {
+    arm_from_list(list);
+  }
+}
+
+void Failpoints::arm(const std::string& site, const FailSpec& spec) {
+  const std::lock_guard<std::mutex> lock(impl_->mu);
+  Impl::Site& s = impl_->sites[site];
+  const bool was_armed = s.spec.trigger != FailTrigger::kOff;
+  s.spec = spec;
+  s.evals = 0;
+  s.hits = 0;
+  const bool is_armed = spec.trigger != FailTrigger::kOff;
+  if (is_armed && !was_armed) {
+    impl_->armed.fetch_add(1, std::memory_order_relaxed);
+  } else if (!is_armed && was_armed) {
+    impl_->armed.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+bool Failpoints::arm_from_spec(const std::string& clause) {
+  const std::size_t eq = clause.find('=');
+  if (eq == 0 || eq == std::string::npos) return false;
+  const std::string site = clause.substr(0, eq);
+  std::string trig = clause.substr(eq + 1);
+
+  FailSpec spec;
+  const std::size_t at = trig.find('@');
+  if (at != std::string::npos) {
+    spec.error = parse_errno(trig.substr(at + 1));
+    if (spec.error < 0) return false;
+    trig.resize(at);
+  }
+  if (trig == "once") {
+    spec.trigger = FailTrigger::kOnce;
+  } else if (trig == "off") {
+    spec.trigger = FailTrigger::kOff;
+  } else if (trig.rfind("every:", 0) == 0) {
+    char* end = nullptr;
+    const std::string arg = trig.substr(6);
+    const unsigned long long n = std::strtoull(arg.c_str(), &end, 10);
+    if (end == arg.c_str() || *end != '\0' || n == 0) return false;
+    spec.trigger = FailTrigger::kEveryNth;
+    spec.every_n = n;
+  } else if (trig.rfind("prob:", 0) == 0) {
+    char* end = nullptr;
+    const std::string arg = trig.substr(5);
+    const double p = std::strtod(arg.c_str(), &end);
+    if (end == arg.c_str() || *end != '\0' || p < 0.0 || p > 1.0) {
+      return false;
+    }
+    spec.trigger = FailTrigger::kProbability;
+    spec.probability = p;
+  } else {
+    return false;
+  }
+  arm(site, spec);
+  return true;
+}
+
+std::size_t Failpoints::arm_from_list(const std::string& list) {
+  std::size_t armed = 0;
+  std::size_t pos = 0;
+  while (pos <= list.size()) {
+    std::size_t end = list.find(';', pos);
+    if (end == std::string::npos) end = list.size();
+    const std::string clause = list.substr(pos, end - pos);
+    if (!clause.empty()) {
+      if (arm_from_spec(clause)) {
+        ++armed;
+      } else {
+        std::fprintf(stderr, "flit: failpoints: bad clause '%s' ignored\n",
+                     clause.c_str());
+      }
+    }
+    pos = end + 1;
+  }
+  return armed;
+}
+
+void Failpoints::disarm(const std::string& site) {
+  arm(site, FailSpec{});
+}
+
+void Failpoints::disarm_all() {
+  const std::lock_guard<std::mutex> lock(impl_->mu);
+  for (auto& [name, s] : impl_->sites) s.spec = FailSpec{};
+  impl_->armed.store(0, std::memory_order_relaxed);
+}
+
+int Failpoints::should_fail(const char* site, int default_error) {
+  if (impl_->armed.load(std::memory_order_relaxed) == 0) return 0;
+  const std::lock_guard<std::mutex> lock(impl_->mu);
+  const auto it = impl_->sites.find(site);
+  if (it == impl_->sites.end()) return 0;
+  Impl::Site& s = it->second;
+  if (s.spec.trigger == FailTrigger::kOff) return 0;
+  ++s.evals;
+  bool fire = false;
+  switch (s.spec.trigger) {
+    case FailTrigger::kOnce:
+      fire = s.evals == 1;
+      break;
+    case FailTrigger::kEveryNth:
+      fire = s.evals % s.spec.every_n == 0;
+      break;
+    case FailTrigger::kProbability: {
+      std::uniform_real_distribution<double> d(0.0, 1.0);
+      fire = d(impl_->rng) < s.spec.probability;
+      break;
+    }
+    case FailTrigger::kOff:
+      break;
+  }
+  if (!fire) return 0;
+  ++s.hits;
+  impl_->total_hits.fetch_add(1, std::memory_order_relaxed);
+  // A firing site must never resolve to 0 ("proceed"): sites that carry
+  // no meaningful errno (pool.alloc, net.write.short) pass
+  // default_error = 0 and get the -1 sentinel.
+  if (s.spec.error != 0) return s.spec.error;
+  return default_error != 0 ? default_error : -1;
+}
+
+std::uint64_t Failpoints::hits(const std::string& site) const {
+  const std::lock_guard<std::mutex> lock(impl_->mu);
+  const auto it = impl_->sites.find(site);
+  return it == impl_->sites.end() ? 0 : it->second.hits;
+}
+
+std::uint64_t Failpoints::evaluations(const std::string& site) const {
+  const std::lock_guard<std::mutex> lock(impl_->mu);
+  const auto it = impl_->sites.find(site);
+  return it == impl_->sites.end() ? 0 : it->second.evals;
+}
+
+std::uint64_t Failpoints::total_hits() const noexcept {
+  return impl_->total_hits.load(std::memory_order_relaxed);
+}
+
+std::vector<std::string> Failpoints::armed_sites() const {
+  const std::lock_guard<std::mutex> lock(impl_->mu);
+  std::vector<std::string> out;
+  for (const auto& [name, s] : impl_->sites) {
+    if (s.spec.trigger != FailTrigger::kOff) out.push_back(name);
+  }
+  return out;
+}
+
+void Failpoints::reseed(std::uint64_t seed) {
+  const std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->rng.seed(seed);
+}
+
+}  // namespace flit::core

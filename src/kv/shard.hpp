@@ -44,21 +44,12 @@
 #include "check/lincheck.hpp"
 #include "ds/batch.hpp"
 #include "ds/tagged_ptr.hpp"
+#include "kv/errors.hpp"
 #include "pmem/persist_check.hpp"
 #include "pmem/pool.hpp"
 #include "recl/ebr.hpp"
 
 namespace flit::kv {
-
-/// The persisted image exists but cannot be recovered by this Store
-/// instantiation: wrong magic/version, a different Words configuration's
-/// node layout, a different backend layout (hashed vs ordered), or a
-/// corrupt header. Distinct from transient system errors (which surface
-/// as plain std::runtime_error from FileRegion) so callers can decide to
-/// recreate only when the file itself is the problem.
-struct IncompatibleStore : std::runtime_error {
-  using std::runtime_error::runtime_error;
-};
 
 /// A persistent variable-length value record. Header plus `len` payload
 /// bytes, allocated as one block from the persistent pool.

@@ -70,6 +70,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <cstdio>
 #include <functional>
 #include <limits>
 #include <memory>
@@ -85,6 +86,7 @@
 
 #include "check/lincheck.hpp"
 #include "kv/backend.hpp"
+#include "kv/errors.hpp"
 #include "kv/shard.hpp"
 #include "pmem/file_region.hpp"
 #include "pmem/pool.hpp"
@@ -164,6 +166,9 @@ class Store {
   /// does NOT set it: post-checkpoint allocations would sit above the
   /// checkpointed mark.)
   static constexpr std::size_t kCleanShutdownSlot = 1;
+  /// msync attempts per checkpoint before the store latches degraded
+  /// read-only (1 initial try + retries, backoff 1→2→4 ms capped at 8).
+  static constexpr int kMsyncRetryLimit = 4;
 
   /// Persistent recovery root: everything Store::recover needs.
   struct Superblock {
@@ -253,6 +258,7 @@ class Store {
         range_chunk_(o.range_chunk_),
         durability_(o.durability_.load(std::memory_order_relaxed)),
         checkpoints_(o.checkpoints_.load(std::memory_order_relaxed)),
+        health_(o.health_.load(std::memory_order_relaxed)),
         checkpoint_pre_(std::move(o.checkpoint_pre_)),
         checkpoint_post_(std::move(o.checkpoint_post_)),
         durability_ctl_(std::move(o.durability_ctl_)) {
@@ -449,10 +455,20 @@ class Store {
   /// never absence (see the consistency contract above). Throws
   /// std::invalid_argument on the reserved sentinel keys
   /// (INT64_MIN/INT64_MAX), std::length_error past Record::kMaxValueBytes,
-  /// std::bad_alloc on a full pool.
+  /// kv::OutOfSpace on a full pool (nothing applied, nothing leaked —
+  /// the shard frees any unpublished record before the throw escapes),
+  /// kv::StoreReadOnly when the store is latched degraded (see health()).
   bool put(Key k, std::string_view value) {
+    ensure_writable();
     const std::uint64_t inv = check::lc_begin();
-    const bool fresh = shard_for(k).put(k, value);
+    bool fresh;
+    try {
+      fresh = shard_for(k).put(k, value);
+    } catch (const OutOfSpace&) {
+      throw;
+    } catch (const std::bad_alloc&) {
+      throw OutOfSpace();
+    }
     check::lc_end_write(inv, check::Op::kPut, k, value, fresh);
     return fresh;
   }
@@ -469,8 +485,11 @@ class Store {
   }
 
   /// Remove k. Returns true if it was present. The removal is durable
-  /// before the call returns (per Words×Method).
+  /// before the call returns (per Words×Method). Throws
+  /// kv::StoreReadOnly when latched degraded (a removal is a mutation:
+  /// acknowledging it un-durably would lie exactly like a put).
   bool remove(Key k) {
+    ensure_writable();
     const std::uint64_t inv = check::lc_begin();
     const bool present = shard_for(k).remove(k);
     check::lc_end_write(inv, check::Op::kRemove, k, {}, present);
@@ -549,10 +568,27 @@ class Store {
   ///
   /// Errors: a reserved sentinel key or an oversized value throws
   /// (std::invalid_argument / std::length_error) before ANY element is
-  /// applied. std::bad_alloc on a full pool can leave a prefix of the
-  /// batch applied (each applied element is complete; the rest are not
-  /// applied at all).
+  /// applied. kv::OutOfSpace on a full pool can leave a prefix of the
+  /// batch applied (each applied element is complete and durable per the
+  /// phase protocol; the rest are not applied at all — nothing torn,
+  /// nothing leaked). kv::StoreReadOnly when latched degraded.
   std::vector<bool> multi_put(
+      std::span<const std::pair<Key, std::string_view>> kvs) {
+    ensure_writable();
+    try {
+      return multi_put_impl(kvs);
+    } catch (const OutOfSpace&) {
+      throw;
+    } catch (const std::bad_alloc&) {
+      // The cleanup already ran inside the impl's phase handlers (records
+      // freed, partial publishes committed durable); only the type is
+      // widened here.
+      throw OutOfSpace();
+    }
+  }
+
+ private:
+  std::vector<bool> multi_put_impl(
       std::span<const std::pair<Key, std::string_view>> kvs) {
     const std::size_t n = kvs.size();
     std::vector<bool> fresh(n, false);
@@ -637,12 +673,15 @@ class Store {
     return fresh;
   }
 
+ public:
   /// Batched remove: out[i] is remove()'s return for keys[i] (reserved
   /// sentinel keys report false). Elements are applied in batch order;
   /// grouping and prefetching amortize the probes, but each removal keeps
   /// its own durable mark CAS — fence coalescing targets the put path,
-  /// where records dominate the persistence bill.
+  /// where records dominate the persistence bill. Throws
+  /// kv::StoreReadOnly when latched degraded.
   std::vector<bool> multi_remove(std::span<const Key> keys) {
+    ensure_writable();
     const std::size_t n = keys.size();
     std::vector<bool> out(n, false);
     if (n == 0) return out;
@@ -808,6 +847,24 @@ class Store {
     return checkpoints_.load(std::memory_order_relaxed);
   }
 
+  /// Degradation state (see kv::Health and the ladder in errors.hpp).
+  /// kDegradedReadOnly latches when a checkpoint msync fails past its
+  /// retry budget, or when the process-wide pmem durability latch fired
+  /// (a close-path msync was swallowed somewhere a throw could not
+  /// reach). Once degraded, every mutation throws kv::StoreReadOnly;
+  /// reads keep serving. The latch clears only by reopening the store in
+  /// a healthy process — trusting dirty pages again after the kernel
+  /// rejected a writeback is the fsyncgate bug.
+  Health health() const noexcept {
+    if (health_.load(std::memory_order_acquire) != Health::kOk) {
+      return Health::kDegradedReadOnly;
+    }
+    if (file_backed_ && pmem::durability_degraded()) {
+      return Health::kDegradedReadOnly;
+    }
+    return Health::kOk;
+  }
+
   /// kAlways hook: callers (the network server, once per readiness
   /// event's writes) invoke this after a write batch commits; under
   /// kAlways it checkpoints before the caller acknowledges, making
@@ -883,25 +940,64 @@ class Store {
     while (!c->stop) {
       if (c->cv.wait_for(lk, c->every, [c] { return c->stop; })) break;
       // Still holding mu: the store pointer is stable and no concurrent
-      // checkpoint() can interleave its header write with ours. An msync
-      // failure must not terminate the process from a background thread;
-      // the next explicit checkpoint()/close() surfaces it.
+      // checkpoint() can interleave its header write with ours. A
+      // failure must not terminate the process from a background thread.
       try {
         if (c->store != nullptr) c->store->checkpoint_impl();
+      } catch (const StoreReadOnly&) {
+        // The retry budget inside checkpoint_impl is spent and the store
+        // latched degraded read-only: every further periodic flush would
+        // fail identically, so stop the loop. Mutations are already
+        // rejected at the API; the latch shows in health()/STATS.
+        break;
       } catch (...) {
+        // Transient (not latch-worthy — e.g. a pre/post hook threw):
+        // retry on the next interval.
       }
     }
   }
 
   /// The actual checkpoint body; callers hold durability_ctl_->mu when
-  /// the control block exists.
+  /// the control block exists. An msync failure is retried with capped
+  /// backoff (the kernel may be under transient pressure); past the
+  /// budget the store latches degraded read-only and throws — after a
+  /// rejected writeback the dirty pages can no longer be trusted as
+  /// durable, so no later "successful" msync may acknowledge them (the
+  /// fsyncgate lesson). The post hook (the ack surface) runs only on
+  /// success: a failed checkpoint acknowledges nothing.
   void checkpoint_impl() {
     if (!file_backed_) return;
+    if (health_.load(std::memory_order_acquire) != Health::kOk) {
+      throw StoreReadOnly();
+    }
     if (checkpoint_pre_) checkpoint_pre_();
     region_.set_bump(pmem::Pool::instance().bump_used());
-    region_.sync();
+    std::chrono::milliseconds backoff(1);
+    for (int attempt = 1;; ++attempt) {
+      try {
+        region_.sync();
+        break;
+      } catch (const std::exception& e) {
+        if (attempt >= kMsyncRetryLimit) {
+          health_.store(Health::kDegradedReadOnly,
+                        std::memory_order_release);
+          std::fprintf(stderr,
+                       "flit: kv: checkpoint sync failed %d times (%s); "
+                       "latching degraded read-only\n",
+                       attempt, e.what());
+          throw StoreReadOnly();
+        }
+        std::this_thread::sleep_for(backoff);
+        backoff = std::min(backoff * 2, std::chrono::milliseconds(8));
+      }
+    }
     checkpoints_.fetch_add(1, std::memory_order_relaxed);
     if (checkpoint_post_) checkpoint_post_();
+  }
+
+  /// Mutation gate: reject writes while degraded (see health()).
+  void ensure_writable() const {
+    if (health() != Health::kOk) throw StoreReadOnly();
   }
 
   void stop_flusher() noexcept {
@@ -1051,10 +1147,13 @@ class Store {
   bool file_backed_ = false;
   std::uint64_t range_chunk_ = 1;  ///< ordered routing chunk width
   // persist-lint: allow(volatile control state in the Store handle)
-  // The durability mode and checkpoint counter are not pool-resident:
-  // recovery re-selects the mode and restarts the counter from zero.
+  // The durability mode, checkpoint counter and health latch are not
+  // pool-resident: recovery re-selects the mode and restarts them — a
+  // reopened store starts healthy by design (new process, new page-cache
+  // state; the operator reopened deliberately).
   std::atomic<DurabilityMode> durability_{DurabilityMode::kNever};
   std::atomic<std::uint64_t> checkpoints_{0};
+  std::atomic<Health> health_{Health::kOk};
   std::function<void()> checkpoint_pre_, checkpoint_post_;
   std::unique_ptr<DurabilityCtl> durability_ctl_;
 };

@@ -42,8 +42,10 @@
 // wrong arity) are per-request and the connection lives on.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <concepts>
 #include <cstdint>
 #include <cstdio>
@@ -65,6 +67,8 @@
 #include <utility>
 #include <vector>
 
+#include "core/failpoint.hpp"
+#include "kv/errors.hpp"
 #include "net/protocol.hpp"
 #include "net/socket.hpp"
 #include "pmem/stats.hpp"
@@ -81,10 +85,25 @@ struct ServerConfig {
   /// parser's max_bulk_bytes usually binds first).
   std::size_t max_value_bytes = std::size_t{1} << 26;
   /// A connection whose unsent replies exceed this is a dead/stuck reader
-  /// and is dropped rather than allowed to balloon the process.
+  /// and is dropped rather than allowed to balloon the process. Below the
+  /// bound the server degrades first: past max_out_buffer/2 it stops
+  /// *reading* the connection (TCP backpressure reaches the client) and
+  /// only keeps flushing, so the close is the last rung, not the first.
   std::size_t max_out_buffer = std::size_t{64} << 20;
   /// Upper bound on one SCAN's requested length.
   std::size_t max_scan_len = 65536;
+  /// Overload protection: connections past this cap are accepted and
+  /// immediately closed (shed) so the backlog cannot silt up with
+  /// connections nobody will serve. 0 = uncapped.
+  std::size_t max_connections = 4096;
+  /// Idle-connection reaping: a connection with no inbound traffic for
+  /// this long is closed by its worker's timer wheel (slow-loris /
+  /// abandoned-peer defense). 0 = never (the default; tests and the
+  /// bench server opt in).
+  int idle_timeout_ms = 0;
+  /// Cap on the listener's exponential accept backoff after fd-pressure
+  /// failures (EMFILE/ENFILE/ENOBUFS/ENOMEM): 1 ms doubling up to this.
+  int accept_backoff_max_ms = 200;
 };
 
 /// Process-wide serving counters (relaxed; read by STATS and tests).
@@ -95,6 +114,13 @@ struct ServerStats {
   std::atomic<std::uint64_t> batched_keys{0};  ///< keys via multi-ops
   std::atomic<std::uint64_t> scalar_ops{0};    ///< keys via scalar ops
   std::atomic<std::uint64_t> protocol_errors{0};
+  // Overload/degradation telemetry (see ISSUE: robustness runs must be
+  // diffable like perf runs — these feed the STATS reply's shed_conns=,
+  // idle_timeouts=, accept_backoffs= fields).
+  std::atomic<std::uint64_t> open_connections{0};   ///< gauge, not lifetime
+  std::atomic<std::uint64_t> shed_connections{0};   ///< over max_connections
+  std::atomic<std::uint64_t> idle_timeouts{0};      ///< reaped by the wheel
+  std::atomic<std::uint64_t> accept_backoffs{0};    ///< fd-pressure episodes
 };
 
 /// The epoll front-end, generic over the store exactly like the bench
@@ -114,6 +140,9 @@ class Server {
   };
   static constexpr bool kHasCheckpoints = requires(const KV& s) {
     { s.checkpoints() } -> std::convertible_to<std::uint64_t>;
+  };
+  static constexpr bool kHasHealth = requires(const KV& s) {
+    { s.health() } -> std::convertible_to<kv::Health>;
   };
 
   Server(KV& store, ServerConfig cfg)
@@ -148,23 +177,59 @@ class Server {
   void run() {
     for (auto& w : workers_) w->start();
     std::size_t next = 0;
+    int backoff_ms = 0;  // nonzero while recovering from fd pressure
     while (!stop_.load(std::memory_order_acquire)) {
-      pollfd pfds[2] = {{listen_fd_.get(), POLLIN, 0},
-                        {stop_event_.get(), POLLIN, 0}};
-      if (::poll(pfds, 2, -1) < 0) {
-        if (errno == EINTR) continue;
-        throw std::runtime_error(std::string("net: poll: ") +
-                                 std::strerror(errno));
-      }
-      if (pfds[0].revents & POLLIN) {
-        for (;;) {
-          SocketFd conn = accept_nonblocking(listen_fd_.get());
-          if (!conn.valid()) break;
-          set_nodelay(conn.get());
-          stats_.connections.fetch_add(1, std::memory_order_relaxed);
-          workers_[next]->adopt(std::move(conn));
-          next = (next + 1) % workers_.size();
+      if (backoff_ms > 0) {
+        // fd pressure (EMFILE and friends): the listener is
+        // level-triggered, so polling it while we cannot accept would
+        // spin. Watch only the stop event for the backoff interval.
+        pollfd pfd{stop_event_.get(), POLLIN, 0};
+        if (::poll(&pfd, 1, backoff_ms) < 0 && errno != EINTR) {
+          throw std::runtime_error(std::string("net: poll: ") +
+                                   std::strerror(errno));
         }
+        if (stop_.load(std::memory_order_acquire)) break;
+      } else {
+        pollfd pfds[2] = {{listen_fd_.get(), POLLIN, 0},
+                          {stop_event_.get(), POLLIN, 0}};
+        if (::poll(pfds, 2, -1) < 0) {
+          if (errno == EINTR) continue;
+          throw std::runtime_error(std::string("net: poll: ") +
+                                   std::strerror(errno));
+        }
+        if (!(pfds[0].revents & POLLIN)) continue;
+      }
+      for (;;) {
+        int transient = 0;
+        SocketFd conn = accept_nonblocking(listen_fd_.get(), &transient);
+        if (!conn.valid()) {
+          if (transient == EMFILE || transient == ENFILE ||
+              transient == ENOBUFS || transient == ENOMEM) {
+            // Exponential backoff: stop draining the backlog until fds
+            // free up; clients wait in the (bounded) listen queue.
+            backoff_ms = backoff_ms > 0
+                             ? std::min(backoff_ms * 2,
+                                        cfg_.accept_backoff_max_ms)
+                             : 1;
+            stats_.accept_backoffs.fetch_add(1, std::memory_order_relaxed);
+          }
+          // ECONNABORTED/EPROTO: that one connection died; keep draining.
+          break;
+        }
+        backoff_ms = 0;
+        if (cfg_.max_connections > 0 &&
+            stats_.open_connections.load(std::memory_order_relaxed) >=
+                cfg_.max_connections) {
+          // Shed: accept-and-close beats leaving the connection in the
+          // backlog — the client learns immediately instead of hanging.
+          stats_.shed_connections.fetch_add(1, std::memory_order_relaxed);
+          continue;  // SocketFd dtor closes
+        }
+        set_nodelay(conn.get());
+        stats_.connections.fetch_add(1, std::memory_order_relaxed);
+        stats_.open_connections.fetch_add(1, std::memory_order_relaxed);
+        workers_[next]->adopt(std::move(conn));
+        next = (next + 1) % workers_.size();
       }
     }
     join_workers();
@@ -191,8 +256,15 @@ class Server {
     RequestParser parser;
     std::string out;
     std::size_t out_pos = 0;
-    bool want_write = false;  ///< EPOLLOUT currently registered
-    bool closing = false;     ///< flush remaining replies, then close
+    bool want_write = false;   ///< EPOLLOUT currently registered
+    bool closing = false;      ///< flush remaining replies, then close
+    bool read_paused = false;  ///< EPOLLIN dropped: output backpressure
+    /// Last inbound traffic; the timer wheel reaps connections idle past
+    /// cfg_.idle_timeout_ms.
+    std::chrono::steady_clock::time_point last_active{};
+    /// Adoption token: wheel entries carry (fd, token) so a reused fd
+    /// number never inherits a stale expiry from its predecessor.
+    std::uint64_t token = 0;
 
     explicit Conn(SocketFd f, const ProtocolLimits& lim)
         : fd(std::move(f)), parser(lim) {}
@@ -240,6 +312,18 @@ class Server {
     std::mutex mu;
     std::vector<int> pending;  // adopted fds, guarded by mu
     std::unordered_map<int, std::unique_ptr<Conn>> conns;
+
+    // Coarse idle-timeout wheel (only consulted when cfg_.idle_timeout_ms
+    // > 0): each adopted connection is dropped into the slot one full
+    // timeout ahead; when the sweep reaches the slot, entries whose
+    // connection has been active since are lazily re-bucketed instead of
+    // tracked on every request — the hot path only stamps last_active.
+    static constexpr std::size_t kWheelSlots = 16;
+    std::vector<std::vector<std::pair<int, std::uint64_t>>> wheel{
+        kWheelSlots};
+    std::size_t wheel_pos = 0;
+    std::uint64_t next_token = 1;
+    std::chrono::steady_clock::time_point last_tick{};
   };
 
   void join_workers() {
@@ -248,11 +332,23 @@ class Server {
     }
   }
 
+  /// One wheel slot spans tick_ms; the full wheel spans roughly one
+  /// timeout, so an idle connection is reaped within ~2 timeouts worst
+  /// case (coarse by design — idle reaping needs no precision).
+  int tick_ms() const noexcept {
+    return std::clamp(cfg_.idle_timeout_ms / int(Worker::kWheelSlots), 10,
+                      250);
+  }
+
   void worker_loop(Worker& w) {
     epoll_event events[64];
     std::vector<Request> reqs;
+    const bool reap_idle = cfg_.idle_timeout_ms > 0;
+    const auto tick = std::chrono::milliseconds(tick_ms());
+    w.last_tick = std::chrono::steady_clock::now();
     while (!stop_.load(std::memory_order_acquire)) {
-      const int n = ::epoll_wait(w.epfd.get(), events, 64, -1);
+      const int n = ::epoll_wait(w.epfd.get(), events, 64,
+                                 reap_idle ? tick_ms() : -1);
       if (n < 0) {
         if (errno == EINTR) continue;
         break;  // epoll itself failed; abandon the worker
@@ -280,8 +376,52 @@ class Server {
         }
         if (!alive) close_conn(w, fd);
       }
+      if (reap_idle) {
+        // Elapsed-time driven, not per-wakeup: a busy worker whose
+        // epoll_wait returns early still advances the wheel on schedule.
+        const auto now = std::chrono::steady_clock::now();
+        while (now - w.last_tick >= tick) {
+          w.last_tick += tick;
+          sweep_wheel_slot(w, now);
+        }
+      }
     }
+    stats_.open_connections.fetch_sub(w.conns.size(),
+                                      std::memory_order_relaxed);
     w.conns.clear();  // SocketFd dtors close everything
+  }
+
+  /// Advance the wheel one slot and expire (or lazily re-bucket) its
+  /// entries. Entries whose (fd, token) no longer matches a live
+  /// connection are stale leftovers of a closed/reused fd: dropped.
+  void sweep_wheel_slot(Worker& w,
+                        std::chrono::steady_clock::time_point now) {
+    w.wheel_pos = (w.wheel_pos + 1) % Worker::kWheelSlots;
+    auto slot = std::move(w.wheel[w.wheel_pos]);
+    w.wheel[w.wheel_pos].clear();
+    const auto timeout = std::chrono::milliseconds(cfg_.idle_timeout_ms);
+    for (const auto& [fd, token] : slot) {
+      const auto it = w.conns.find(fd);
+      if (it == w.conns.end() || it->second->token != token) continue;
+      Conn& c = *it->second;
+      const auto expires = c.last_active + timeout;
+      if (expires <= now) {
+        stats_.idle_timeouts.fetch_add(1, std::memory_order_relaxed);
+        close_conn(w, fd);
+        continue;
+      }
+      // Saw traffic since enqueue: re-bucket at (about) its new expiry.
+      const auto remain_ticks =
+          std::chrono::duration_cast<std::chrono::milliseconds>(expires -
+                                                                now)
+              .count() /
+          tick_ms();
+      const std::size_t ahead = std::clamp<std::size_t>(
+          static_cast<std::size_t>(remain_ticks) + 1, 1,
+          Worker::kWheelSlots - 1);
+      w.wheel[(w.wheel_pos + ahead) % Worker::kWheelSlots].emplace_back(
+          fd, token);
+    }
   }
 
   void drain_wake(Worker& w) {
@@ -299,7 +439,16 @@ class Server {
       ev.events = EPOLLIN;
       ev.data.fd = fd;
       if (::epoll_ctl(w.epfd.get(), EPOLL_CTL_ADD, fd, &ev) != 0) {
+        stats_.open_connections.fetch_sub(1, std::memory_order_relaxed);
         continue;  // conn dtor closes the fd
+      }
+      conn->last_active = std::chrono::steady_clock::now();
+      conn->token = w.next_token++;
+      if (cfg_.idle_timeout_ms > 0) {
+        // First expiry check one full wheel revolution out.
+        w.wheel[(w.wheel_pos + Worker::kWheelSlots - 1) %
+                Worker::kWheelSlots]
+            .emplace_back(fd, conn->token);
       }
       w.conns.emplace(fd, std::move(conn));
     }
@@ -307,7 +456,19 @@ class Server {
 
   void close_conn(Worker& w, int fd) {
     (void)::epoll_ctl(w.epfd.get(), EPOLL_CTL_DEL, fd, nullptr);
-    w.conns.erase(fd);  // SocketFd dtor closes
+    if (w.conns.erase(fd) > 0) {  // SocketFd dtor closes
+      stats_.open_connections.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+
+  /// Re-register the connection's epoll interest from its want_write /
+  /// read_paused flags. Returns false when epoll_ctl itself failed.
+  bool update_interest(Worker& w, Conn& c) {
+    epoll_event ev{};
+    ev.events = (c.read_paused ? 0u : static_cast<unsigned>(EPOLLIN)) |
+                (c.want_write ? static_cast<unsigned>(EPOLLOUT) : 0u);
+    ev.data.fd = c.fd.get();
+    return ::epoll_ctl(w.epfd.get(), EPOLL_CTL_MOD, c.fd.get(), &ev) == 0;
   }
 
   /// Drain the socket, execute every complete request, flush replies.
@@ -319,6 +480,7 @@ class Server {
       bool would_block = false;
       const ssize_t r = read_some(c.fd.get(), buf, sizeof(buf), would_block);
       if (r > 0) {
+        c.last_active = std::chrono::steady_clock::now();
         c.parser.feed(std::string_view(buf, static_cast<std::size_t>(r)));
         continue;
       }
@@ -343,6 +505,13 @@ class Server {
     }
     if (saw_eof) c.closing = true;
     if (c.out.size() - c.out_pos > cfg_.max_out_buffer) return false;
+    if (!c.closing && !c.read_paused &&
+        c.out.size() - c.out_pos > cfg_.max_out_buffer / 2) {
+      // Degrade before dropping: stop reading so TCP backpressure reaches
+      // the slow reader; only crossing max_out_buffer itself closes.
+      c.read_paused = true;
+      if (!update_interest(w, c)) return false;
+    }
     const bool alive = flush(w, c);
     if (shutdown_after) {
       // Best effort: the +OK should reach the client before the process
@@ -368,24 +537,18 @@ class Server {
       }
       if (!would_block) return false;  // peer closed mid-write
       if (!c.want_write) {
-        epoll_event ev{};
-        ev.events = EPOLLIN | EPOLLOUT;
-        ev.data.fd = c.fd.get();
-        if (::epoll_ctl(w.epfd.get(), EPOLL_CTL_MOD, c.fd.get(), &ev) != 0) {
-          return false;
-        }
         c.want_write = true;
+        if (!update_interest(w, c)) return false;
       }
       return true;  // resume on EPOLLOUT
     }
     c.out.clear();
     c.out_pos = 0;
-    if (c.want_write) {
-      epoll_event ev{};
-      ev.events = EPOLLIN;
-      ev.data.fd = c.fd.get();
-      (void)::epoll_ctl(w.epfd.get(), EPOLL_CTL_MOD, c.fd.get(), &ev);
+    const bool resume_read = c.read_paused && !c.closing;
+    if (c.want_write || resume_read) {
       c.want_write = false;
+      c.read_paused = false;  // drained: backpressure over
+      if (!update_interest(w, c)) return false;
     }
     return !c.closing;
   }
@@ -452,6 +615,10 @@ class Server {
   void execute_batch(Conn& c, std::vector<Request>& reqs,
                      bool& shutdown_after) {
     stats_.requests.fetch_add(reqs.size(), std::memory_order_relaxed);
+    // Replies appended past this mark are withdrawn if the commit-point
+    // durability hook fails: "acknowledged ⇒ durable" must hold even
+    // when msync stops cooperating.
+    const std::size_t out_mark = c.out.size();
     bool wrote = false;
     std::size_t i = 0;
     while (i < reqs.size()) {
@@ -465,12 +632,10 @@ class Server {
             run_gets(c, run);
             break;
           case Cmd::kSet:
-            run_sets(c, run);
-            wrote = true;
+            run_sets(c, run, wrote);
             break;
           default:
-            run_dels(c, run);
-            wrote = true;
+            run_dels(c, run, wrote);
             break;
         }
         i = j;
@@ -479,7 +644,23 @@ class Server {
       execute_single(c, reqs[i], cmd, wrote, shutdown_after);
       ++i;
     }
-    if (wrote) note_write_commit();
+    if (wrote) {
+      try {
+        note_write_commit();
+      } catch (const std::exception&) {
+        // The event's writes cannot be acknowledged as durable (kAlways
+        // msync failed; the store has latched read-only). The reply
+        // stream no longer corresponds to the request stream if we just
+        // substitute errors, so withdraw every reply of this event,
+        // send one diagnostic, and close — the client re-syncs on
+        // reconnect and sees per-request -ERR READONLY from then on.
+        c.out.resize(out_mark);
+        append_error(c.out,
+                     "ERR READONLY commit failed; acknowledgements "
+                     "withdrawn, closing");
+        c.closing = true;
+      }
+    }
   }
 
   void note_write_commit() {
@@ -541,7 +722,7 @@ class Server {
   /// A run of SETs: one multi_put. Validation (arity, key syntax,
   /// reserved keys, value size) happens before anything is applied, so a
   /// bad element costs only its own error reply.
-  void run_sets(Conn& c, std::span<Request> run) {
+  void run_sets(Conn& c, std::span<Request> run, bool& wrote) {
     if (run.size() == 1) {
       const Request& r = run[0];
       std::string err;
@@ -559,7 +740,9 @@ class Server {
         return;
       }
       stats_.scalar_ops.fetch_add(1, std::memory_order_relaxed);
-      if (!apply_store(c, [&] { store_.put(*k, r.argv[2]); })) return;
+      if (!apply_store(c, [&] { store_.put(*k, r.argv[2]); }, &wrote)) {
+        return;
+      }
       append_simple(c.out, "OK");
       return;
     }
@@ -583,20 +766,22 @@ class Server {
       kvs.emplace_back(*k, std::string_view(r.argv[2]));
     }
     stats_.batched_keys.fetch_add(kvs.size(), std::memory_order_relaxed);
-    const bool applied = apply_store(c, [&] { store_.multi_put(kvs); });
+    std::string batch_err;
+    const bool applied =
+        apply_store_err(batch_err, [&] { store_.multi_put(kvs); }, &wrote);
     for (std::size_t i = 0; i < run.size(); ++i) {
       if (!valid[i]) {
         append_error(c.out, errs[i]);
       } else if (applied) {
         append_simple(c.out, "OK");
       } else {
-        append_error(c.out, "ERR store rejected the batch");
+        append_error(c.out, batch_err);
       }
     }
   }
 
   /// A run of DELs: one multi_remove.
-  void run_dels(Conn& c, std::span<Request> run) {
+  void run_dels(Conn& c, std::span<Request> run, bool& wrote) {
     if (run.size() == 1) {
       const Request& r = run[0];
       std::string err;
@@ -610,7 +795,11 @@ class Server {
         return;
       }
       stats_.scalar_ops.fetch_add(1, std::memory_order_relaxed);
-      append_integer(c.out, store_.remove(*k) ? 1 : 0);
+      bool removed = false;
+      if (!apply_store(c, [&] { removed = store_.remove(*k); }, &wrote)) {
+        return;
+      }
+      append_integer(c.out, removed ? 1 : 0);
       return;
     }
     std::vector<std::int64_t> keys;
@@ -628,12 +817,17 @@ class Server {
       keys.push_back(*k);
     }
     stats_.batched_keys.fetch_add(keys.size(), std::memory_order_relaxed);
-    const auto removed = store_.multi_remove(keys);
+    std::vector<bool> removed;
+    std::string batch_err;
+    const bool applied = apply_store_err(
+        batch_err, [&] { removed = store_.multi_remove(keys); }, &wrote);
     for (std::size_t i = 0; i < run.size(); ++i) {
       if (slot[i] == SIZE_MAX) {
         append_error(c.out, errs[i]);
-      } else {
+      } else if (applied) {
         append_integer(c.out, removed[slot[i]] ? 1 : 0);
+      } else {
+        append_error(c.out, batch_err);
       }
     }
   }
@@ -693,8 +887,7 @@ class Server {
           kvs.emplace_back(*k, std::string_view(r.argv[i + 1]));
         }
         stats_.batched_keys.fetch_add(kvs.size(), std::memory_order_relaxed);
-        if (!apply_store(c, [&] { store_.multi_put(kvs); })) return;
-        wrote = true;
+        if (!apply_store(c, [&] { store_.multi_put(kvs); }, &wrote)) return;
         append_simple(c.out, "OK");
         return;
       }
@@ -715,10 +908,13 @@ class Server {
         }
         stats_.batched_keys.fetch_add(keys.size(),
                                       std::memory_order_relaxed);
-        const auto removed = store_.multi_remove(keys);
+        std::vector<bool> removed;
+        if (!apply_store(
+                c, [&] { removed = store_.multi_remove(keys); }, &wrote)) {
+          return;
+        }
         std::int64_t count = 0;
         for (const bool b : removed) count += b ? 1 : 0;
-        wrote = true;
         append_integer(c.out, count);
         return;
       }
@@ -763,19 +959,30 @@ class Server {
         if constexpr (kHasCheckpoints) {
           ckpts = static_cast<unsigned long long>(store_.checkpoints());
         }
-        char buf[352];
+        // Stores without health() (plain maps) are always "ok" — the
+        // key stays present for the same parse-by-key reason.
+        const char* health = "ok";
+        if constexpr (kHasHealth) {
+          health = kv::to_string(store_.health());
+        }
+        char buf[512];
         std::snprintf(
             buf, sizeof(buf),
             "layout=%s requests=%llu connections=%llu batched_keys=%llu "
             "scalar_ops=%llu protocol_errors=%llu pwbs=%llu pfences=%llu "
-            "checkpoints=%llu keys=%llu",
+            "checkpoints=%llu keys=%llu health=%s open_conns=%llu "
+            "shed_conns=%llu idle_timeouts=%llu accept_backoffs=%llu "
+            "injected_faults=%llu",
             KV::kOrdered ? "ordered" : "hashed",
             load(stats_.requests), load(stats_.connections),
             load(stats_.batched_keys), load(stats_.scalar_ops),
             load(stats_.protocol_errors),
             static_cast<unsigned long long>(ps.pwbs),
             static_cast<unsigned long long>(ps.pfences), ckpts,
-            static_cast<unsigned long long>(store_.size()));
+            static_cast<unsigned long long>(store_.size()), health,
+            load(stats_.open_connections), load(stats_.shed_connections),
+            load(stats_.idle_timeouts), load(stats_.accept_backoffs),
+            static_cast<unsigned long long>(core::fp_total_injected()));
         append_bulk(c.out, buf);
         return;
       }
@@ -802,16 +1009,51 @@ class Server {
   /// length/argument errors that slipped past validation) into one -ERR
   /// reply. Returns false when the mutation threw — the server keeps
   /// serving; the store's documented partial-application rules apply.
+  /// `mutated`, when given, is set whenever the store may have changed —
+  /// on success, and on failures that can leave a partially applied batch
+  /// (OutOfSpace fails element k with the prefix landed). It is NOT set
+  /// for StoreReadOnly: that refusal happens up front, before anything is
+  /// applied, so there is nothing for the commit hook to make durable —
+  /// and calling checkpoint() on a latched store would just throw again
+  /// and needlessly tear the connection down.
   template <class Fn>
-  bool apply_store(Conn& c, Fn&& fn) {
+  bool apply_store(Conn& c, Fn&& fn, bool* mutated = nullptr) {
+    std::string err;
+    if (apply_store_err(err, std::forward<Fn>(fn), mutated)) return true;
+    append_error(c.out, err);
+    return false;
+  }
+
+  /// Error-capturing variant for batched runs: the caller owes one reply
+  /// per request of the run, so the diagnostic must be emitted per
+  /// element, not appended once (which would desynchronize the pipeline
+  /// by an extra reply).
+  template <class Fn>
+  bool apply_store_err(std::string& err, Fn&& fn, bool* mutated = nullptr) {
     try {
       fn();
+      if (mutated != nullptr) *mutated = true;
       return true;
+    } catch (const kv::OutOfSpace&) {
+      // Pool exhausted: this mutation failed cleanly (strong exception
+      // safety upstream); reads/deletes on this connection keep working.
+      if (mutated != nullptr) *mutated = true;
+      err = "ERR OUT_OF_SPACE store is full; reads and deletes still "
+            "served";
+      return false;
     } catch (const std::bad_alloc&) {
-      append_error(c.out, "ERR out of persistent memory");
+      if (mutated != nullptr) *mutated = true;
+      err = "ERR out of persistent memory";
+      return false;
+    } catch (const kv::StoreReadOnly&) {
+      // Durability latch (failed msync): mutations refused up front,
+      // reads still answered from the in-memory index.
+      err = "ERR READONLY store is degraded read-only (durability "
+            "failure); reads still served";
       return false;
     } catch (const std::exception& e) {
-      append_error(c.out, std::string("ERR ") + e.what());
+      if (mutated != nullptr) *mutated = true;
+      err = std::string("ERR ") + e.what();
       return false;
     }
   }

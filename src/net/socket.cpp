@@ -1,5 +1,7 @@
 #include "net/socket.hpp"
 
+#include "core/failpoint.hpp"
+
 #include <arpa/inet.h>
 #include <cerrno>
 #include <cstring>
@@ -95,7 +97,14 @@ SocketFd connect_tcp(const std::string& host, std::uint16_t port) {
   return fd;
 }
 
-SocketFd accept_nonblocking(int listen_fd) {
+SocketFd accept_nonblocking(int listen_fd, int* transient_err) {
+  if (transient_err != nullptr) *transient_err = 0;
+  // Failpoint: simulated accept failure (default EMFILE — fd
+  // exhaustion), reported exactly like the real transient path below.
+  if (const int e = core::fp_inject("net.accept", EMFILE)) {
+    if (transient_err != nullptr) *transient_err = e;
+    return SocketFd();
+  }
   for (;;) {
     const int fd =
         ::accept4(listen_fd, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
@@ -106,6 +115,7 @@ SocketFd accept_nonblocking(int listen_fd) {
     // accepted, fd pressure) must not kill the listener.
     if (errno == ECONNABORTED || errno == EMFILE || errno == ENFILE ||
         errno == ENOBUFS || errno == ENOMEM || errno == EPROTO) {
+      if (transient_err != nullptr) *transient_err = errno;
       return SocketFd();
     }
     throw_errno("accept");
@@ -128,6 +138,9 @@ void set_nodelay(int fd) {
 
 ssize_t read_some(int fd, void* buf, std::size_t n, bool& would_block) {
   would_block = false;
+  // Failpoint: simulated peer reset mid-read — surfaces as EOF, exactly
+  // like the real ECONNRESET mapping below.
+  if (core::fp_inject("net.read", ECONNRESET) != 0) return 0;
   for (;;) {
     const ssize_t r = ::read(fd, buf, n);
     if (r >= 0) return r;
@@ -144,6 +157,11 @@ ssize_t read_some(int fd, void* buf, std::size_t n, bool& would_block) {
 ssize_t write_some(int fd, const void* buf, std::size_t n,
                    bool& would_block) {
   would_block = false;
+  // Failpoints: "net.write" simulates a dead peer (the EPIPE/ECONNRESET
+  // return below); "net.write.short" truncates the send to one byte so
+  // partial-write resumption paths run under test control.
+  if (core::fp_inject("net.write", ECONNRESET) != 0) return -1;
+  if (core::fp_inject("net.write.short") != 0 && n > 1) n = 1;
   for (;;) {
     const ssize_t r = ::send(fd, buf, n, MSG_NOSIGNAL);
     if (r >= 0) return r;

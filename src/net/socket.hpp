@@ -69,8 +69,13 @@ std::uint16_t local_port(int fd);
 SocketFd connect_tcp(const std::string& host, std::uint16_t port);
 
 /// EINTR-retrying accept4(SOCK_NONBLOCK | SOCK_CLOEXEC). Returns an
-/// invalid SocketFd when the listener has nothing pending (EAGAIN).
-SocketFd accept_nonblocking(int listen_fd);
+/// invalid SocketFd when the listener has nothing pending (EAGAIN) or a
+/// transient per-connection failure occurred. When `transient_err` is
+/// non-null it reports why: 0 for a drained listener, else the errno
+/// (ECONNABORTED, EMFILE, ENFILE, ENOBUFS, ENOMEM, EPROTO) — the server
+/// backs off accepting on the fd-pressure subset instead of spinning on
+/// a level-triggered listener it cannot drain.
+SocketFd accept_nonblocking(int listen_fd, int* transient_err = nullptr);
 
 void set_nonblocking(int fd, bool on);
 void set_nodelay(int fd);

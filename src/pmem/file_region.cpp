@@ -5,18 +5,34 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
 #include <map>
 #include <mutex>
 #include <stdexcept>
 #include <utility>
 
+#include "core/failpoint.hpp"
 #include "pmem/cacheline.hpp"
 
 namespace flit::pmem {
 
 namespace {
+
+std::atomic<bool> g_durability_degraded{false};
+
+/// msync with its failpoint site: an armed "pmem.msync" simulates the
+/// kernel rejecting the writeback (default EIO) without touching the
+/// real file.
+int msync_checked(void* base, std::size_t len) noexcept {
+  if (const int e = core::fp_inject("pmem.msync", EIO)) {
+    errno = e;
+    return -1;
+  }
+  return ::msync(base, len, MS_SYNC);
+}
 
 [[noreturn]] void fail(const std::string& what) {
   throw std::runtime_error("FileRegion: " + what + " (" +
@@ -79,6 +95,21 @@ class ReservationTable {
 
 }  // namespace
 
+bool durability_degraded() noexcept {
+  return g_durability_degraded.load(std::memory_order_acquire);
+}
+
+void note_durability_failure(const char* what) noexcept {
+  g_durability_degraded.store(true, std::memory_order_release);
+  std::fprintf(stderr,
+               "flit: durability failure (latched degraded): %s (%s)\n",
+               what, std::strerror(errno));
+}
+
+void reset_durability_health() noexcept {
+  g_durability_degraded.store(false, std::memory_order_release);
+}
+
 FileRegion& FileRegion::operator=(FileRegion&& o) noexcept {
   if (this != &o) {
     close();
@@ -123,6 +154,10 @@ FileRegion FileRegion::open(const std::string& path, std::size_t capacity) {
   // Error paths below throw and let r's destructor close the fd exactly
   // once (an explicit ::close here would double-close on unwind, possibly
   // hitting an unrelated descriptor that reused the number).
+  if (const int e = core::fp_inject("pmem.ftruncate", ENOSPC)) {
+    errno = e;  // simulated out-of-space growing the backing file
+    fail("ftruncate");
+  }
   if (::ftruncate(r.fd_, static_cast<off_t>(capacity)) != 0) {
     fail("ftruncate");
   }
@@ -140,7 +175,12 @@ FileRegion FileRegion::open(const std::string& path, std::size_t capacity) {
 #endif
     }
   }
-  void* mem = ::mmap(hint, capacity, PROT_READ | PROT_WRITE, flags, r.fd_, 0);
+  void* mem = MAP_FAILED;
+  if (const int e = core::fp_inject("pmem.mmap", ENOMEM)) {
+    errno = e;  // simulated mapping failure; falls into the error path
+  } else {
+    mem = ::mmap(hint, capacity, PROT_READ | PROT_WRITE, flags, r.fd_, 0);
+  }
   if (mem == MAP_FAILED) {
     // If we consumed a reservation, the address is forfeited: a failed
     // MAP_FIXED leaves the prior-mapping state unspecified, so neither
@@ -218,12 +258,19 @@ std::size_t FileRegion::bump() const {
 
 void FileRegion::sync() {
   if (base_ == nullptr) return;
-  if (::msync(base_, capacity_, MS_SYNC) != 0) fail("msync");
+  if (msync_checked(base_, capacity_) != 0) fail("msync");
 }
 
 void FileRegion::close() {
   if (base_ != nullptr) {
-    (void)::msync(base_, capacity_, MS_SYNC);
+    // The final best-effort sync used to (void)-discard its result — an
+    // acked-then-close sequence could silently lose the durability
+    // promise. close() still cannot throw (destructors and unwind paths
+    // land here), so a failure is logged and latched process-wide
+    // instead; Store::health() and the server's STATS surface it.
+    if (msync_checked(base_, capacity_) != 0) {
+      note_durability_failure("msync on FileRegion::close");
+    }
     // Only reserve the address if the backing file is still linked
     // somewhere (fstat on the open fd — immune to chdir/rename): after
     // destroy() there is nothing to reopen, and an unreleasable

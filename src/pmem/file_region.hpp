@@ -26,6 +26,24 @@
 
 namespace flit::pmem {
 
+/// Process-wide durability-health latch. Set (never cleared, except by
+/// the test-only reset) when a best-effort durability path fails where no
+/// exception can propagate — today, a failed msync in
+/// FileRegion::close() (destructor/unwind paths): the close still
+/// completes, but the "everything written is on stable storage" promise
+/// is gone, and silently dropping that (the pre-fix behavior) is exactly
+/// the fsyncgate bug. Store::health() folds this latch into its own
+/// degraded-read-only state so the failure reaches STATS/operators.
+bool durability_degraded() noexcept;
+
+/// Record a swallowed durability failure: logs to stderr and latches
+/// durability_degraded(). Safe from destructors and unwind paths.
+void note_durability_failure(const char* what) noexcept;
+
+/// Clear the latch — tests only (the process-wide latch would otherwise
+/// leak a simulated failure into every later test in the binary).
+void reset_durability_health() noexcept;
+
 class FileRegion {
  public:
   static constexpr std::uint64_t kMagic = 0xF117'F117'0000'0001ull;

@@ -2,6 +2,7 @@
 
 #include <sys/mman.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cassert>
 #include <cstdlib>
@@ -9,6 +10,7 @@
 #include <mutex>
 
 #include "check/lincheck.hpp"
+#include "core/failpoint.hpp"
 #include "pmem/cacheline.hpp"
 #include "pmem/persist_check.hpp"
 #include "pmem/sim_memory.hpp"
@@ -91,12 +93,28 @@ void Pool::ensure_init() {
 }
 
 std::byte* Pool::bump_chunk(std::size_t bytes) {
-  const std::size_t off = g_bump.fetch_add(bytes, std::memory_order_relaxed);
-  if (off + bytes > capacity_) throw std::bad_alloc();
+  // CAS loop rather than fetch_add: a failed carve must leave the mark
+  // untouched. A blind fetch_add would inflate g_bump past capacity_ on
+  // every refused allocation, and Store::close() persists bump_used() as
+  // the region's allocator mark — an exhausted store would then record a
+  // "corrupt" mark and refuse to reopen.
+  std::size_t off = g_bump.load(std::memory_order_relaxed);
+  for (;;) {
+    if (off + bytes > capacity_) throw std::bad_alloc();
+    if (g_bump.compare_exchange_weak(off, off + bytes,
+                                     std::memory_order_relaxed,
+                                     std::memory_order_relaxed)) {
+      break;
+    }
+  }
   return static_cast<std::byte*>(base_) + off;
 }
 
 void* Pool::alloc(std::size_t size) {
+  // Failpoint: simulated slab exhaustion, before any allocator state
+  // changes — an injected failure must be indistinguishable from a full
+  // pool (bad_alloc, nothing leaked, nothing carved).
+  if (core::fp_inject("pool.alloc") != 0) throw std::bad_alloc();
   ensure_init();
   assert(size > 0);
   const std::size_t rounded =
@@ -148,12 +166,24 @@ void Pool::dealloc(void* p, std::size_t size) noexcept {
   ThreadArena& a = tls_arena();
   const std::uint64_t epoch = g_pool_epoch.load(std::memory_order_acquire);
   if (a.epoch != epoch) {
-    // Block belongs to a discarded pool generation; dropping it is correct.
+    // The arena's chunk and cached free lists belong to a discarded pool
+    // generation; reset them. The block itself is judged by address below,
+    // not dropped outright: after adopt() the prior generation's blocks
+    // ARE the current pool, and losing their frees would strand space — a
+    // store reopened at the brim relies on delete-then-reuse working on
+    // the very first free.
     a.cur = a.end = nullptr;
     std::memset(a.free_lists, 0, sizeof(a.free_lists));
     a.epoch = epoch;
-    return;
   }
+  // Drop blocks outside the current pool: they came from a generation
+  // whose mapping is gone (reinit/adopt munmap'd it), so recycling the
+  // address would hand out unmapped — or worse, re-mapped — memory.
+  // (Frees racing a generation switch don't otherwise occur: fixtures and
+  // Store::close() drain the EBR limbo before the pool is swapped.)
+  const auto* blk = static_cast<const std::byte*>(p);
+  const auto* lo = static_cast<const std::byte*>(base_);
+  if (lo == nullptr || blk < lo || blk + rounded > lo + capacity_) return;
   const std::size_t cls = size_class(rounded);
   auto* n = static_cast<FreeNode*>(p);
   n->next = a.free_lists[cls];
@@ -169,8 +199,12 @@ void Pool::adopt(void* base, std::size_t capacity,
   owns_mapping_ = false;
   // Round the recovered mark up to the chunk size so resumed allocation
   // never overlaps blocks handed out by a previous session's arenas.
-  const std::size_t resumed =
-      (initial_bump + kChunkSize - 1) & ~(kChunkSize - 1);
+  // Clamp to capacity: on a region closed at the brim the round-up can
+  // overshoot, and the overshoot must not be persisted back at close as
+  // an (apparently corrupt) out-of-range mark. Nothing lives past
+  // capacity, so the clamp cannot alias prior allocations.
+  const std::size_t resumed = std::min(
+      (initial_bump + kChunkSize - 1) & ~(kChunkSize - 1), capacity);
   g_bump.store(resumed, std::memory_order_relaxed);
   g_pool_epoch.fetch_add(1, std::memory_order_acq_rel);
   check::lc_pool_reset();

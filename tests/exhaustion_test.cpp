@@ -1,0 +1,173 @@
+// Out-of-space soak test (default build — real exhaustion, no failpoints):
+// a small file-backed store is filled until the pool refuses, and the
+// refusal must be *graceful*:
+//
+//   * the failing put throws kv::OutOfSpace and applies nothing;
+//   * every previously acknowledged key stays readable, byte-exact;
+//   * deletes still work at exhaustion, and the space they recycle is
+//     reusable — the store is wedged for growth, not for service;
+//   * closing and reopening the full store recovers everything.
+//
+// (The SIGKILL-at-exhaustion variant lives in flit_crashtest --inject,
+// which can afford whole-process crashes.)
+#include "kv/store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unistd.h>
+#include <utility>
+#include <vector>
+
+#include "pmem/file_region.hpp"
+#include "recl/ebr.hpp"
+#include "support/test_common.hpp"
+
+namespace flit::kv {
+namespace {
+
+using flit::test::PmemTest;
+using KvStore = Store<HashedWords, Automatic>;
+
+/// Deterministic payload, sized to exhaust a 4 MiB region in a few
+/// thousand puts without tripping any per-value limit.
+std::string value_for(std::int64_t k) {
+  const std::size_t len =
+      512 + static_cast<std::size_t>(static_cast<std::uint64_t>(k) * 131 %
+                                     1024);
+  return std::string(len, static_cast<char>('a' + k % 26));
+}
+
+class ExhaustionTest : public PmemTest {
+ protected:
+  static std::string temp_path() {
+    return "/tmp/flit_exhaustion_test_" + std::to_string(::getpid()) +
+           ".pmem";
+  }
+};
+
+TEST_F(ExhaustionTest, FillToOutOfSpaceThenServeAndRecycleAndReopen) {
+  const std::string path = temp_path();
+  pmem::FileRegion::destroy(path);
+  constexpr std::size_t kCapacity = 4 << 20;
+
+  std::map<std::int64_t, std::string> acked;
+  {
+    KvStore kv = KvStore::open(path, kCapacity, 2, 128);
+    // Fill until the pool says no. Every put either fully applies (and
+    // is recorded as acked) or throws OutOfSpace and applies nothing.
+    std::int64_t k = 0;
+    bool full = false;
+    for (; k < 100000; ++k) {
+      std::string v = value_for(k);
+      try {
+        kv.put(k, v);
+      } catch (const OutOfSpace&) {
+        full = true;
+        break;
+      }
+      acked.emplace(k, std::move(v));
+    }
+    ASSERT_TRUE(full) << "4 MiB should not hold 100k ~1 KiB records";
+    ASSERT_GT(acked.size(), 100u);
+
+    // The failing key was not applied — not even partially.
+    EXPECT_EQ(kv.get(k), std::nullopt);
+    EXPECT_EQ(kv.size(), acked.size());
+
+    // Exhaustion is stable and clean: more big puts keep failing the
+    // same way, and reads answer correctly throughout.
+    EXPECT_THROW(kv.put(k, value_for(k)), OutOfSpace);
+    for (const auto& [key, val] : acked) {
+      const auto got = kv.get(key);
+      ASSERT_TRUE(got.has_value()) << key;
+      ASSERT_EQ(*got, val) << key;
+    }
+
+    // Deletes still work at exhaustion, and freed blocks are reusable:
+    // remove a record, drain the EBR limbo (retired storage only returns
+    // to the pool after a grace period), then a same-shaped put succeeds.
+    const std::int64_t victim = acked.begin()->first;
+    EXPECT_TRUE(kv.remove(victim));
+    acked.erase(victim);
+    recl::Ebr::instance().drain_all();
+    std::string replacement = value_for(victim);
+    kv.put(victim, replacement);  // recycled storage
+    acked.emplace(victim, std::move(replacement));
+
+    kv.close();
+  }
+
+  // Reopen the (nearly) full store: everything acked is still there and
+  // the store is healthy.
+  {
+    KvStore kv = KvStore::open(path, kCapacity, 2, 128);
+    EXPECT_EQ(kv.health(), Health::kOk);
+    EXPECT_EQ(kv.size(), acked.size());
+    for (const auto& [key, val] : acked) {
+      const auto got = kv.get(key);
+      ASSERT_TRUE(got.has_value()) << key;
+      ASSERT_EQ(*got, val) << key;
+    }
+    // Still serviceable: deletes free space for new writes even when
+    // reopened at the brim.
+    const std::int64_t victim = acked.begin()->first;
+    EXPECT_TRUE(kv.remove(victim));
+    recl::Ebr::instance().drain_all();
+    kv.put(victim, value_for(victim));
+    kv.close();
+  }
+  pmem::FileRegion::destroy(path);
+}
+
+TEST_F(ExhaustionTest, MultiPutAtExhaustionKeepsPrefixSemantics) {
+  const std::string path = temp_path() + ".batch";
+  pmem::FileRegion::destroy(path);
+  constexpr std::size_t kCapacity = 2 << 20;
+  KvStore kv = KvStore::open(path, kCapacity, 1, 128);
+
+  // Leave little headroom, then throw a batch at the wall.
+  std::int64_t k = 0;
+  try {
+    for (; k < 100000; ++k) kv.put(k, value_for(k));
+  } catch (const OutOfSpace&) {
+  }
+  ASSERT_LT(k, 100000) << "the fill loop should have hit the wall";
+  const std::size_t before = kv.size();
+
+  std::vector<std::string> values;
+  std::vector<std::pair<std::int64_t, std::string_view>> batch;
+  for (std::int64_t i = 0; i < 64; ++i) {
+    values.push_back(value_for(200000 + i));
+  }
+  for (std::int64_t i = 0; i < 64; ++i) {
+    batch.emplace_back(200000 + i, values[static_cast<std::size_t>(i)]);
+  }
+  EXPECT_THROW(kv.multi_put(batch), OutOfSpace);
+
+  // Whatever prefix landed is complete and byte-exact; the rest is
+  // wholly absent (never torn) and the store still answers.
+  bool in_prefix = true;
+  std::size_t applied = 0;
+  for (std::int64_t i = 0; i < 64; ++i) {
+    const auto got = kv.get(200000 + i);
+    if (got.has_value()) {
+      EXPECT_TRUE(in_prefix) << "hole before applied element " << i;
+      EXPECT_EQ(*got, values[static_cast<std::size_t>(i)]);
+      ++applied;
+    } else {
+      in_prefix = false;
+    }
+  }
+  EXPECT_EQ(kv.size(), before + applied);
+  EXPECT_EQ(kv.get(0), value_for(0));
+  kv.close();
+  pmem::FileRegion::destroy(path);
+}
+
+}  // namespace
+}  // namespace flit::kv
